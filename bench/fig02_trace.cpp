@@ -1,0 +1,34 @@
+// Figure 2: number of concurrent graph processing jobs over one week,
+// synthesized to the paper's published statistics (peak > 30, mean ~16).
+#include "bench_support.hpp"
+
+#include "runtime/job_queue.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+
+int main() {
+  const auto trace = runtime::synthesize_week_trace(168, 42);
+
+  std::printf("== Figure 2: concurrent jobs over one week (hourly) ==\n");
+  // Sparkline-style rows of 24 hours each.
+  for (std::size_t day = 0; day < 7; ++day) {
+    std::printf("day %zu  ", day + 1);
+    for (std::size_t h = 0; h < 24; ++h) {
+      std::printf("%3u", trace[day * 24 + h].concurrent_jobs);
+    }
+    std::printf("\n");
+  }
+
+  double sum = 0.0;
+  std::uint32_t peak = 0;
+  for (const auto& point : trace) {
+    sum += point.concurrent_jobs;
+    peak = std::max(peak, point.concurrent_jobs);
+  }
+  const double mean = sum / static_cast<double>(trace.size());
+  std::printf("mean concurrency: %.1f   peak: %u\n", mean, peak);
+  print_shape("peak above 30 concurrent jobs", peak > 30);
+  print_shape("mean concurrency near 16", mean > 13.0 && mean < 19.0);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 9: total execution time of 16 concurrent jobs under GridGraph-S /
+// GridGraph-C / GridGraph-M, normalized to GridGraph-S, for all five graphs.
+// Paper: -M improves throughput ~2.6x/1.73x (in-memory) and ~11.6x/13x
+// (out-of-core) over -S/-C.
+#include "bench_support.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+
+int main() {
+  util::TablePrinter table("Figure 9: normalized total execution time, 16 concurrent jobs");
+  table.set_header({"dataset", "GridGraph-S", "GridGraph-C", "GridGraph-M",
+                    "S/M speedup", "C/M speedup"});
+
+  double in_memory_speedup = 0.0;
+  int in_memory_count = 0;
+  double ooc_speedup = 0.0;
+  int ooc_count = 0;
+  bool m_wins_everywhere = true;
+
+  for (const std::string& dataset : bench_datasets()) {
+    const auto s = run_scheme(runtime::Scheme::kSequential, dataset, 16);
+    const auto c = run_scheme(runtime::Scheme::kConcurrent, dataset, 16);
+    const auto m = run_scheme(runtime::Scheme::kShared, dataset, 16);
+
+    const double sm = s.total_s / m.total_s;
+    const double cm = c.total_s / m.total_s;
+    table.add_row({dataset, util::TablePrinter::fmt(1.0),
+                   util::TablePrinter::fmt(c.total_s / s.total_s),
+                   util::TablePrinter::fmt(m.total_s / s.total_s),
+                   util::TablePrinter::fmt(sm), util::TablePrinter::fmt(cm)});
+
+    if (graph::dataset_spec(dataset).fits_in_memory) {
+      in_memory_speedup += sm;
+      ++in_memory_count;
+    } else {
+      ooc_speedup += sm;
+      ++ooc_count;
+    }
+    m_wins_everywhere = m_wins_everywhere && m.total_s < s.total_s && m.total_s < c.total_s;
+  }
+  table.print();
+
+  const double in_mem_avg = in_memory_speedup / in_memory_count;
+  const double ooc_avg = ooc_speedup / ooc_count;
+  std::printf("average S/M speedup: in-memory %.2fx, out-of-core %.2fx\n", in_mem_avg, ooc_avg);
+  print_shape("GridGraph-M fastest on every dataset", m_wins_everywhere);
+  print_shape("out-of-core speedup exceeds in-memory speedup", ooc_avg > in_mem_avg);
+  print_shape("in-memory speedup > 1.2x (paper: ~2.6x)", in_mem_avg > 1.2);
+  print_shape("out-of-core speedup > 3x (paper: ~11.6x)", ooc_avg > 3.0);
+  return 0;
+}

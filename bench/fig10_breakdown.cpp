@@ -1,0 +1,44 @@
+// Figure 10: execution time breakdown (graph processing vs data accessing)
+// per scheme and dataset. Paper: -M's data-access share shrinks drastically,
+// e.g. 11.48x/13.06x less data-access time on UK-union.
+#include "bench_support.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+
+int main() {
+  util::TablePrinter table(
+      "Figure 10: time breakdown (seconds), 16 jobs — data access = DRAM + disk stalls");
+  table.set_header({"dataset", "scheme", "processing", "data access", "access share"});
+
+  bool m_smallest_access_everywhere = true;
+  double ukunion_ratio = 0.0;
+
+  for (const std::string& dataset : bench_datasets()) {
+    struct Row {
+      const char* name;
+      runtime::Scheme scheme;
+    };
+    const Row rows[] = {{"S", runtime::Scheme::kSequential},
+                        {"C", runtime::Scheme::kConcurrent},
+                        {"M", runtime::Scheme::kShared}};
+    double access[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      const auto r = run_scheme(rows[i].scheme, dataset, 16);
+      const double data_access = r.io_stall_s + r.mem_stall_s;
+      access[i] = data_access;
+      table.add_row({dataset, rows[i].name, util::TablePrinter::fmt(r.compute_s, 3),
+                     util::TablePrinter::fmt(data_access, 3),
+                     util::TablePrinter::fmt(100.0 * data_access / r.total_s, 1) + "%"});
+    }
+    m_smallest_access_everywhere =
+        m_smallest_access_everywhere && access[2] <= access[0] && access[2] <= access[1];
+    if (dataset == "ukunion_s") ukunion_ratio = access[0] / access[2];
+  }
+  table.print();
+  std::printf("UK-union data-access reduction S vs M: %.2fx (paper: 11.48x)\n", ukunion_ratio);
+  print_shape("-M has the smallest data-access time on every dataset",
+              m_smallest_access_everywhere);
+  print_shape("UK-union access-time reduction > 3x (paper: 11.48x)", ukunion_ratio > 3.0);
+  return 0;
+}

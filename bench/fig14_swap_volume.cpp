@@ -1,0 +1,30 @@
+// Figure 14: volume of data swapped into the LLC, normalized per dataset.
+// Paper: -C swaps the most (cache interference between private copies); -M
+// swaps much less than even -S (on UK-union, -S is 65% of -C and -M is 55%
+// of -S).
+#include "bench_support.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+
+int main() {
+  util::TablePrinter table("Figure 14: normalized volume swapped into the LLC, 16 jobs");
+  table.set_header({"dataset", "S", "C", "M", "M GB"});
+
+  bool ordering = true;
+  for (const std::string& dataset : bench_datasets()) {
+    const auto s = run_scheme(runtime::Scheme::kSequential, dataset, 16);
+    const auto c = run_scheme(runtime::Scheme::kConcurrent, dataset, 16);
+    const auto m = run_scheme(runtime::Scheme::kShared, dataset, 16);
+    const double base = std::max({s.llc_swapped_gb, c.llc_swapped_gb, m.llc_swapped_gb, 1e-12});
+    table.add_row({dataset, util::TablePrinter::fmt(s.llc_swapped_gb / base),
+                   util::TablePrinter::fmt(c.llc_swapped_gb / base),
+                   util::TablePrinter::fmt(m.llc_swapped_gb / base),
+                   util::TablePrinter::fmt(m.llc_swapped_gb, 3)});
+    ordering = ordering && m.llc_swapped_gb < s.llc_swapped_gb &&
+               s.llc_swapped_gb <= c.llc_swapped_gb * 1.05;
+  }
+  table.print();
+  print_shape("M < S <= C swapped volume on every dataset", ordering);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 21: scalability of PowerGraph and Chaos (with and without GraphM)
+// on the simulated cluster, 64 jobs on UK-union, 64..128 nodes. Paper: all
+// schemes speed up with more nodes, and the -M variants scale best (less
+// communication/storage redundancy).
+#include "bench_support.hpp"
+
+#include "dist/chaos_engine.hpp"
+#include "dist/powergraph_engine.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+using namespace graphm::dist;
+
+int main() {
+  const auto g = graph::load_dataset("ukunion_s", bench_scale());
+  const auto jobs = runtime::paper_mix(32, g.num_vertices(), 0x21);
+  const auto profiles = profile_jobs(g, jobs);
+
+  struct Engine {
+    const char* name;
+    RunEstimate (*run)(DistScheme, const std::vector<JobProfile>&, const graph::EdgeList&,
+                       const ClusterConfig&);
+  };
+  const Engine engines[] = {{"PowerGraph", run_powergraph}, {"Chaos", run_chaos}};
+
+  bool shared_scales_best = true;
+  for (const Engine& engine : engines) {
+    util::TablePrinter table(std::string("Figure 21: ") + engine.name +
+                             " speedup vs nodes (64 jobs, ukunion_s)");
+    table.set_header({"nodes", "-S", "-C", "-M"});
+    double base[3] = {0, 0, 0};
+    double last[3] = {0, 0, 0};
+    for (const std::size_t nodes : {64u, 80u, 96u, 112u, 128u}) {
+      ClusterConfig cluster;
+      cluster.num_nodes = nodes;
+      cluster.num_groups = 1;
+      std::vector<std::string> row{std::to_string(nodes)};
+      for (int k = 0; k < 3; ++k) {
+        DistScheme scheme;
+        scheme.kind = static_cast<DistScheme::Kind>(k);
+        const auto estimate = engine.run(scheme, profiles, g, cluster);
+        if (nodes == 64) base[k] = estimate.seconds;
+        last[k] = estimate.seconds;
+        row.push_back(util::TablePrinter::fmt(base[k] / estimate.seconds));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    // -M must remain the fastest in absolute terms at max scale.
+    shared_scales_best = shared_scales_best && last[2] < last[0] && last[2] < last[1];
+  }
+  print_shape("-M variants fastest at 128 nodes on both engines", shared_scales_best);
+  return 0;
+}

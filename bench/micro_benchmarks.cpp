@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of GraphM's core primitives: chunk
+// labelling (Algorithm 1), the LLC/page-cache simulators, the Formula-5
+// priority computation and raw edge streaming.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graphm/chunk_table.hpp"
+#include "graphm/scheduler.hpp"
+#include "sim/cache_sim.hpp"
+#include "sim/page_cache.hpp"
+#include "util/bitmap.hpp"
+
+namespace {
+
+using namespace graphm;
+
+const graph::EdgeList& bench_graph() {
+  static const graph::EdgeList g = graph::generate_rmat(1 << 14, 1 << 18, 99);
+  return g;
+}
+
+void BM_LabelPartition(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const std::size_t chunk_bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto table = core::label_partition(g.edges().data(), g.num_edges(), chunk_bytes);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_LabelPartition)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_ActiveEdges(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto table = core::label_partition(g.edges().data(), g.num_edges(), 16384);
+  util::AtomicBitmap active(g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); v += 3) active.set(v);
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (const auto& chunk : table.chunks) total += chunk.active_edges(active);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ActiveEdges);
+
+void BM_CacheSimStream(benchmark::State& state) {
+  sim::CacheSim cache(256 * 1024, 16, 64);
+  const std::size_t bytes = 1 << 20;
+  for (auto _ : state) {
+    cache.access_range(0x100000, bytes, 0);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CacheSimStream);
+
+void BM_PageCacheRead(benchmark::State& state) {
+  sim::PageCacheSim cache(32 << 20, 4096, 100e6, 1e-4);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read(1, offset, 1 << 16, 0));
+    offset = (offset + (1 << 16)) % (64 << 20);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 16));
+}
+BENCHMARK(BM_PageCacheRead);
+
+void BM_LoadingOrder(benchmark::State& state) {
+  core::GlobalTable table;
+  for (core::PartitionId p = 0; p < 64; ++p) {
+    for (core::JobId j = 0; j < 16; ++j) {
+      if ((p + j) % 3 == 0) table[p].insert(j);
+    }
+  }
+  for (auto _ : state) {
+    auto order = core::loading_order(table, true);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_LoadingOrder);
+
+void BM_EdgeStreamGated(benchmark::State& state) {
+  const auto& g = bench_graph();
+  util::AtomicBitmap active(g.num_vertices());
+  active.set_all();
+  std::vector<double> sums(g.num_vertices(), 0.0);
+  for (auto _ : state) {
+    for (const auto& e : g.edges()) {
+      if (active.get(e.src)) sums[e.dst] += e.weight;
+    }
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EdgeStreamGated);
+
+}  // namespace

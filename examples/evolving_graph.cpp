@@ -1,0 +1,67 @@
+// Evolving graph: Section 3.3.2's consistent snapshots.
+//   * a *mutation* is private to the job that made it;
+//   * an *update* is visible only to jobs submitted afterwards;
+//   * earlier jobs keep computing on their original snapshot.
+// This example mirrors the paper's Figure 7 scenario with two jobs.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "graphm/graphm.hpp"
+#include "grid/grid_store.hpp"
+
+using namespace graphm;
+
+int main() {
+  const auto graph = graph::generate_rmat(2'000, 20'000, /*seed=*/3);
+  const std::string path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                           "/graphm_evolving";
+  grid::GridStore::preprocess(graph, 4, path);
+  const grid::GridStore store = grid::GridStore::open(path);
+
+  sim::Platform platform;
+  core::GraphM graphm(store, platform);
+  graphm.init();
+  auto& controller = graphm.controller();
+
+  // Job 1 is submitted first (Figure 7's "job 1").
+  controller.register_job(1);
+  const auto original = controller.chunk_content(1, /*pid=*/0, /*chunk=*/2);
+  std::printf("chunk (0,2): %zu edges, first weight %.1f\n", original.size(),
+              original.empty() ? 0.0 : original[0].weight);
+
+  // A graph *update* arrives: edge weights change (e.g. road costs). Only
+  // jobs submitted after it will see the new values.
+  auto updated = original;
+  for (auto& e : updated) e.weight *= 2.0f;
+  controller.apply_update(0, 2, updated);
+
+  // Job 2 is submitted after the update (Figure 7's "job 2").
+  controller.register_job(2);
+
+  const auto view1 = controller.chunk_content(1, 0, 2);
+  const auto view2 = controller.chunk_content(2, 0, 2);
+  std::printf("job 1 (pre-update snapshot) first weight:  %.1f\n", view1[0].weight);
+  std::printf("job 2 (post-update snapshot) first weight: %.1f\n", view2[0].weight);
+
+  // Job 2 additionally *mutates* the chunk for a what-if analysis; job 1's
+  // view is untouched, and even job 2's update-level view stays intact for
+  // other jobs.
+  auto mutated = view2;
+  for (auto& e : mutated) e.weight += 100.0f;
+  controller.apply_mutation(2, 0, 2, mutated);
+  std::printf("job 2 after private mutation:              %.1f\n",
+              controller.chunk_content(2, 0, 2)[0].weight);
+  controller.register_job(3);
+  std::printf("job 3 (sees update, not the mutation):     %.1f\n",
+              controller.chunk_content(3, 0, 2)[0].weight);
+
+  // Snapshot copies are released as their jobs finish.
+  std::printf("live snapshot chunks before finishing: %zu\n",
+              controller.snapshot_chunks_live());
+  controller.job_finished(1);
+  controller.job_finished(2);
+  controller.job_finished(3);
+  std::printf("live snapshot chunks after finishing:  %zu\n",
+              controller.snapshot_chunks_live());
+  return 0;
+}

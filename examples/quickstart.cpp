@@ -1,0 +1,61 @@
+// Quickstart: run two concurrent PageRank jobs over one shared graph through
+// GraphM, mirroring the paper's Figure 6 integration:
+//   1. preprocess the graph into the engine's grid format,
+//   2. GraphM.Init() labels the partitions into chunks,
+//   3. each job streams through a Sharing() loader instead of the engine's
+//      own Load() — one copy of the graph serves both jobs.
+#include <cstdio>
+#include <thread>
+
+#include "algos/pagerank.hpp"
+#include "graph/generators.hpp"
+#include "graphm/graphm.hpp"
+#include "grid/grid_store.hpp"
+#include "grid/stream_engine.hpp"
+
+using namespace graphm;
+
+int main() {
+  // A small synthetic social network (RMAT: skewed degrees like real graphs).
+  const auto graph = graph::generate_rmat(10'000, 120'000, /*seed=*/1);
+  std::printf("graph: %u vertices, %llu edges\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // 1. Convert to the engine's on-disk format (GridGraph-style P x P grid).
+  const std::string path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                           "/graphm_quickstart";
+  grid::GridStore::preprocess(graph, /*num_partitions=*/8, path);
+  const grid::GridStore store = grid::GridStore::open(path);
+
+  // 2. Bring up the simulated platform and GraphM.
+  sim::Platform platform;
+  core::GraphM graphm(store, platform);
+  graphm.init();
+  std::printf("GraphM chunk size (Formula 1): %zu bytes, metadata %.1f KB\n",
+              graphm.chunk_bytes(), graphm.metadata_bytes() / 1024.0);
+
+  // 3. Two concurrent jobs share the graph through Sharing() loaders.
+  const grid::StreamEngine engine(store, platform);
+  algos::PageRank job0(/*damping=*/0.85, /*iterations=*/10);
+  algos::PageRank job1(/*damping=*/0.50, /*iterations=*/10);
+  auto loader0 = graphm.make_loader(0);
+  auto loader1 = graphm.make_loader(1);
+
+  std::thread t0([&] { engine.run_job(0, job0, *loader0); });
+  std::thread t1([&] { engine.run_job(1, job1, *loader1); });
+  t0.join();
+  t1.join();
+
+  const auto stats = graphm.controller().stats();
+  std::printf("partition loads: %llu, attaches served from the shared buffer: %llu\n",
+              static_cast<unsigned long long>(stats.partition_loads),
+              static_cast<unsigned long long>(stats.attaches));
+
+  const auto ranks = job0.result();
+  std::size_t best = 0;
+  for (std::size_t v = 1; v < ranks.size(); ++v) {
+    if (ranks[v] > ranks[best]) best = v;
+  }
+  std::printf("top-ranked vertex (d=0.85): %zu with rank %.6f\n", best, ranks[best]);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The vertex-program contract every engine in this repository streams edges
+// through. A job = one StreamingAlgorithm instance; all job-specific data
+// (the paper's `S`) lives inside the instance, while the graph structure
+// data (`G`) is owned by the engine/storage layer — the decoupling GraphM's
+// Share-Synchronize mechanism relies on (Section 3.1).
+//
+// Execution protocol (driven by the engine):
+//   init(n, out_degrees, tracker)
+//   while (!done()):
+//     iteration_start(iter)
+//     for every streamed edge e with active_vertices().get(e.src):
+//       process_edge(e)              // may activate e.dst for next iteration
+//     iteration_end()
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "sim/memory_tracker.hpp"
+#include "util/bitmap.hpp"
+
+namespace graphm::algos {
+
+class StreamingAlgorithm {
+ public:
+  virtual ~StreamingAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocates job-specific state; `tracker` (may be null) records it under
+  /// MemoryCategory::kJobSpecific.
+  virtual void init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& out_degrees,
+                    sim::MemoryTracker* tracker) = 0;
+
+  virtual void iteration_start(std::uint64_t iteration) = 0;
+
+  /// Source-side active set for the current iteration. Engines use it both
+  /// for selective scheduling (skip partitions with no active sources) and to
+  /// gate process_edge.
+  [[nodiscard]] virtual const util::AtomicBitmap& active_vertices() const = 0;
+
+  /// Relaxes one edge whose source is active. Must only touch job-local
+  /// state — the graph buffer may be shared with other jobs.
+  virtual void process_edge(const graph::Edge& e) = 0;
+
+  virtual void iteration_end() = 0;
+
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// The job-specific value array (for LLC modeling of `S` accesses and for
+  /// result comparison). Second = bytes.
+  [[nodiscard]] virtual std::pair<const void*, std::size_t> values_span() const = 0;
+
+  /// Result vector as doubles, for cross-scheme equivalence checks.
+  [[nodiscard]] virtual std::vector<double> result() const = 0;
+};
+
+}  // namespace graphm::algos

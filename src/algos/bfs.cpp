@@ -1,0 +1,35 @@
+#include "algos/bfs.hpp"
+
+namespace graphm::algos {
+
+void Bfs::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& /*out_degrees*/,
+               sim::MemoryTracker* tracker) {
+  levels_.assign(num_vertices, kUnreached);
+  frontier_ = util::AtomicBitmap(num_vertices);
+  next_frontier_ = util::AtomicBitmap(num_vertices);
+  if (root_ < num_vertices) {
+    levels_[root_] = 0;
+    frontier_.set(root_);
+  } else {
+    done_ = true;
+  }
+  tracking_ = sim::TrackedAllocation(tracker, sim::MemoryCategory::kJobSpecific,
+                                     num_vertices * sizeof(std::uint32_t) + num_vertices / 4);
+}
+
+void Bfs::iteration_start(std::uint64_t /*iteration*/) { next_frontier_.clear_all(); }
+
+void Bfs::process_edge(const graph::Edge& e) {
+  if (levels_[e.dst] == kUnreached) {
+    levels_[e.dst] = current_level_ + 1;
+    next_frontier_.set(e.dst);
+  }
+}
+
+void Bfs::iteration_end() {
+  ++current_level_;
+  std::swap(frontier_, next_frontier_);
+  done_ = !frontier_.any();
+}
+
+}  // namespace graphm::algos

@@ -1,0 +1,82 @@
+#include "algos/factory.hpp"
+
+#include <sstream>
+
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "util/rng.hpp"
+
+namespace graphm::algos {
+
+const char* to_string(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kPageRank: return "PageRank";
+    case AlgorithmKind::kWcc: return "WCC";
+    case AlgorithmKind::kBfs: return "BFS";
+    case AlgorithmKind::kSssp: return "SSSP";
+  }
+  return "?";
+}
+
+std::string JobSpec::label() const {
+  std::ostringstream oss;
+  oss << to_string(kind);
+  switch (kind) {
+    case AlgorithmKind::kPageRank:
+      oss << "(d=" << damping << ",it=" << max_iterations << ")";
+      break;
+    case AlgorithmKind::kWcc:
+      oss << "(it<=" << max_iterations << ")";
+      break;
+    case AlgorithmKind::kBfs:
+    case AlgorithmKind::kSssp:
+      oss << "(root=" << root << ")";
+      break;
+  }
+  return oss.str();
+}
+
+std::unique_ptr<StreamingAlgorithm> make_algorithm(const JobSpec& spec) {
+  switch (spec.kind) {
+    case AlgorithmKind::kPageRank:
+      return std::make_unique<PageRank>(spec.damping, spec.max_iterations);
+    case AlgorithmKind::kWcc:
+      return std::make_unique<Wcc>(spec.max_iterations);
+    case AlgorithmKind::kBfs:
+      return std::make_unique<Bfs>(spec.root);
+    case AlgorithmKind::kSssp:
+      return std::make_unique<Sssp>(spec.root);
+  }
+  return nullptr;
+}
+
+JobSpec random_job_spec(std::size_t index, graph::VertexId num_vertices, std::uint64_t seed) {
+  // "we submit WCC, PageRank, SSSP, and BFS in turn ... where the parameters
+  // are randomly set for different jobs" (Section 5.1).
+  util::SplitMix64 rng(seed ^ (0x9E3779B9ULL * (index + 1)));
+  JobSpec spec;
+  switch (index % 4) {
+    case 0:
+      spec.kind = AlgorithmKind::kWcc;
+      spec.max_iterations = 1 + static_cast<std::uint32_t>(rng.next_below(24));
+      break;
+    case 1:
+      spec.kind = AlgorithmKind::kPageRank;
+      spec.damping = rng.next_double(0.1, 0.85);
+      spec.max_iterations = 6 + static_cast<std::uint32_t>(rng.next_below(6));
+      break;
+    case 2:
+      spec.kind = AlgorithmKind::kSssp;
+      spec.root = static_cast<graph::VertexId>(rng.next_below(num_vertices));
+      break;
+    default:
+      spec.kind = AlgorithmKind::kBfs;
+      spec.root = static_cast<graph::VertexId>(rng.next_below(num_vertices));
+      break;
+  }
+  return spec;
+}
+
+}  // namespace graphm::algos

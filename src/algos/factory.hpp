@@ -1,0 +1,33 @@
+// Job specifications and the algorithm factory. A JobSpec is the unit the
+// runtime submits: which algorithm, with which (paper-style randomized)
+// parameters — damping factor in [0.1, 0.85] for PageRank, random roots for
+// BFS/SSSP, random iteration budgets for WCC (Section 5.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algos/algorithm.hpp"
+
+namespace graphm::algos {
+
+enum class AlgorithmKind : int { kPageRank = 0, kWcc = 1, kBfs = 2, kSssp = 3 };
+
+const char* to_string(AlgorithmKind kind);
+
+struct JobSpec {
+  AlgorithmKind kind = AlgorithmKind::kPageRank;
+  double damping = 0.85;             // PageRank
+  std::uint32_t max_iterations = 10; // PageRank / WCC budget
+  graph::VertexId root = 0;          // BFS / SSSP
+
+  [[nodiscard]] std::string label() const;
+};
+
+std::unique_ptr<StreamingAlgorithm> make_algorithm(const JobSpec& spec);
+
+/// Draws a randomized spec the way the paper does: algorithms submitted in
+/// turn (WCC, PageRank, SSSP, BFS), parameters randomized per job.
+JobSpec random_job_spec(std::size_t index, graph::VertexId num_vertices, std::uint64_t seed);
+
+}  // namespace graphm::algos

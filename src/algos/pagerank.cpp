@@ -1,0 +1,36 @@
+#include "algos/pagerank.hpp"
+
+namespace graphm::algos {
+
+void PageRank::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& out_degrees,
+                    sim::MemoryTracker* tracker) {
+  const double n = num_vertices == 0 ? 1.0 : static_cast<double>(num_vertices);
+  rank_.assign(num_vertices, 1.0 / n);
+  next_.assign(num_vertices, 0.0);
+  contribution_.assign(num_vertices, 0.0);
+  degrees_ref_ = &out_degrees;
+  active_ = util::AtomicBitmap(num_vertices);
+  active_.set_all();
+  tracking_ = sim::TrackedAllocation(tracker, sim::MemoryCategory::kJobSpecific,
+                                     3 * num_vertices * sizeof(double) + num_vertices / 8);
+}
+
+void PageRank::iteration_start(std::uint64_t /*iteration*/) {
+  const auto& degrees = *degrees_ref_;
+  for (std::size_t v = 0; v < rank_.size(); ++v) {
+    contribution_[v] = degrees[v] == 0 ? 0.0 : rank_[v] / degrees[v];
+    next_[v] = 0.0;
+  }
+}
+
+void PageRank::process_edge(const graph::Edge& e) { next_[e.dst] += contribution_[e.src]; }
+
+void PageRank::iteration_end() {
+  const double n = rank_.empty() ? 1.0 : static_cast<double>(rank_.size());
+  for (std::size_t v = 0; v < rank_.size(); ++v) {
+    rank_[v] = (1.0 - damping_) / n + damping_ * next_[v];
+  }
+  ++iterations_done_;
+}
+
+}  // namespace graphm::algos

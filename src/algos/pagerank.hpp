@@ -1,0 +1,42 @@
+// PageRank with configurable damping factor and iteration count — the
+// paper's network-intensive workload (every iteration traverses the whole
+// graph). Push-style: each edge adds rank[src]/deg[src] into the next sums.
+#pragma once
+
+#include "algos/algorithm.hpp"
+
+namespace graphm::algos {
+
+class PageRank final : public StreamingAlgorithm {
+ public:
+  PageRank(double damping, std::uint32_t max_iterations)
+      : damping_(damping), max_iterations_(max_iterations) {}
+
+  [[nodiscard]] std::string name() const override { return "PageRank"; }
+  void init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& out_degrees,
+            sim::MemoryTracker* tracker) override;
+  void iteration_start(std::uint64_t iteration) override;
+  [[nodiscard]] const util::AtomicBitmap& active_vertices() const override { return active_; }
+  void process_edge(const graph::Edge& e) override;
+  void iteration_end() override;
+  [[nodiscard]] bool done() const override { return iterations_done_ >= max_iterations_; }
+  [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {
+    return {rank_.data(), rank_.size() * sizeof(double)};
+  }
+  [[nodiscard]] std::vector<double> result() const override { return rank_; }
+
+  [[nodiscard]] double damping() const { return damping_; }
+
+ private:
+  double damping_;
+  std::uint32_t max_iterations_;
+  std::uint32_t iterations_done_ = 0;
+  std::vector<double> rank_;
+  std::vector<double> next_;
+  std::vector<double> contribution_;  // rank[v]/deg[v], frozen per iteration
+  const std::vector<std::uint32_t>* degrees_ref_ = nullptr;
+  util::AtomicBitmap active_;
+  sim::TrackedAllocation tracking_;
+};
+
+}  // namespace graphm::algos

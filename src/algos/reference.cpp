@@ -1,0 +1,121 @@
+#include "algos/reference.hpp"
+
+#include <deque>
+#include <numeric>
+#include <queue>
+
+#include "algos/sssp.hpp"
+#include "graph/csr.hpp"
+
+namespace graphm::algos::reference {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::VertexId;
+
+std::vector<double> pagerank(const EdgeList& graph, double damping, std::uint32_t iterations) {
+  const VertexId n = graph.num_vertices();
+  const auto degrees = graph.out_degrees();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const Edge& e : graph.edges()) {
+      if (degrees[e.src] != 0) next[e.dst] += rank[e.src] / degrees[e.src];
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / static_cast<double>(n) + damping * next[v];
+    }
+  }
+  return rank;
+}
+
+std::vector<VertexId> wcc_labels(const EdgeList& graph, std::uint32_t max_iterations) {
+  // Jacobi propagation, matching algos::Wcc exactly (see wcc.hpp).
+  std::vector<VertexId> labels(graph.num_vertices());
+  std::iota(labels.begin(), labels.end(), VertexId{0});
+  std::vector<VertexId> next(labels);
+  for (std::uint32_t it = 0; it < max_iterations; ++it) {
+    next = labels;
+    bool changed = false;
+    for (const Edge& e : graph.edges()) {
+      if (labels[e.src] < next[e.dst]) {
+        next[e.dst] = labels[e.src];
+        changed = true;
+      }
+      if (labels[e.dst] < next[e.src]) {
+        next[e.src] = labels[e.dst];
+        changed = true;
+      }
+    }
+    labels.swap(next);
+    if (!changed) break;
+  }
+  return labels;
+}
+
+std::vector<VertexId> wcc_union_find(const EdgeList& graph) {
+  std::vector<VertexId> parent(graph.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : graph.edges()) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  // Canonical label: minimum vertex id in the component.
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) labels[v] = find(v);
+  return labels;
+}
+
+std::vector<std::uint32_t> bfs_levels(const EdgeList& graph, VertexId root) {
+  constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> levels(graph.num_vertices(), kUnreached);
+  if (root >= graph.num_vertices()) return levels;
+  const auto csr = graph::Csr::build(graph);
+  std::deque<VertexId> queue{root};
+  levels[root] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const auto& nb : csr.neighbors(v)) {
+      if (levels[nb.dst] == kUnreached) {
+        levels[nb.dst] = levels[v] + 1;
+        queue.push_back(nb.dst);
+      }
+    }
+  }
+  return levels;
+}
+
+std::vector<float> sssp_distances(const EdgeList& graph, VertexId root) {
+  std::vector<float> dist(graph.num_vertices(), Sssp::kInfinity);
+  if (root >= graph.num_vertices()) return dist;
+  const auto csr = graph::Csr::build(graph);
+  using Item = std::pair<float, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[root] = 0.0f;
+  heap.emplace(0.0f, root);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const auto& nb : csr.neighbors(v)) {
+      const float candidate = d + nb.weight;
+      if (candidate < dist[nb.dst]) {
+        dist[nb.dst] = candidate;
+        heap.emplace(candidate, nb.dst);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace graphm::algos::reference

@@ -1,0 +1,31 @@
+// Serial reference implementations used as test oracles. They are written
+// against the plain edge list / CSR — independently of every engine — so a
+// bug in an engine or in GraphM cannot hide in both sides of a comparison.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace graphm::algos::reference {
+
+/// Power iteration matching PageRank's semantics (dangling mass dropped),
+/// `iterations` full passes.
+std::vector<double> pagerank(const graph::EdgeList& graph, double damping,
+                             std::uint32_t iterations);
+
+/// Min-label propagation over undirected edges, at most `max_iterations`
+/// full passes (pass the graph's vertex count for guaranteed convergence).
+std::vector<graph::VertexId> wcc_labels(const graph::EdgeList& graph,
+                                        std::uint32_t max_iterations);
+
+/// Exact weakly-connected components via union-find (oracle for converged WCC).
+std::vector<graph::VertexId> wcc_union_find(const graph::EdgeList& graph);
+
+/// BFS levels from `root` over directed edges; unreached = 0xFFFFFFFF.
+std::vector<std::uint32_t> bfs_levels(const graph::EdgeList& graph, graph::VertexId root);
+
+/// Dijkstra distances from `root`; unreached = Sssp::kInfinity.
+std::vector<float> sssp_distances(const graph::EdgeList& graph, graph::VertexId root);
+
+}  // namespace graphm::algos::reference

@@ -1,0 +1,35 @@
+#include "algos/sssp.hpp"
+
+namespace graphm::algos {
+
+void Sssp::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& /*out_degrees*/,
+                sim::MemoryTracker* tracker) {
+  distance_.assign(num_vertices, kInfinity);
+  frontier_ = util::AtomicBitmap(num_vertices);
+  next_frontier_ = util::AtomicBitmap(num_vertices);
+  if (root_ < num_vertices) {
+    distance_[root_] = 0.0f;
+    frontier_.set(root_);
+  } else {
+    done_ = true;
+  }
+  tracking_ = sim::TrackedAllocation(tracker, sim::MemoryCategory::kJobSpecific,
+                                     num_vertices * sizeof(float) + num_vertices / 4);
+}
+
+void Sssp::iteration_start(std::uint64_t /*iteration*/) { next_frontier_.clear_all(); }
+
+void Sssp::process_edge(const graph::Edge& e) {
+  const float candidate = distance_[e.src] + e.weight;
+  if (candidate < distance_[e.dst]) {
+    distance_[e.dst] = candidate;
+    next_frontier_.set(e.dst);
+  }
+}
+
+void Sssp::iteration_end() {
+  std::swap(frontier_, next_frontier_);
+  done_ = !frontier_.any();
+}
+
+}  // namespace graphm::algos

@@ -1,0 +1,40 @@
+// Single-source shortest paths (frontier-driven Bellman-Ford relaxation).
+// Converges to exact distances; the min-relaxation is order-independent so
+// results are identical under every execution scheme.
+#pragma once
+
+#include "algos/algorithm.hpp"
+
+namespace graphm::algos {
+
+class Sssp final : public StreamingAlgorithm {
+ public:
+  explicit Sssp(graph::VertexId root) : root_(root) {}
+
+  [[nodiscard]] std::string name() const override { return "SSSP"; }
+  void init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& out_degrees,
+            sim::MemoryTracker* tracker) override;
+  void iteration_start(std::uint64_t iteration) override;
+  [[nodiscard]] const util::AtomicBitmap& active_vertices() const override { return frontier_; }
+  void process_edge(const graph::Edge& e) override;
+  void iteration_end() override;
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {
+    return {distance_.data(), distance_.size() * sizeof(float)};
+  }
+  [[nodiscard]] std::vector<double> result() const override {
+    return {distance_.begin(), distance_.end()};
+  }
+
+  static constexpr float kInfinity = 3.4e38f;
+
+ private:
+  graph::VertexId root_;
+  bool done_ = false;
+  std::vector<float> distance_;
+  util::AtomicBitmap frontier_;
+  util::AtomicBitmap next_frontier_;
+  sim::TrackedAllocation tracking_;
+};
+
+}  // namespace graphm::algos

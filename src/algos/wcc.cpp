@@ -1,0 +1,45 @@
+#include "algos/wcc.hpp"
+
+#include <numeric>
+
+namespace graphm::algos {
+
+void Wcc::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& /*out_degrees*/,
+               sim::MemoryTracker* tracker) {
+  labels_.resize(num_vertices);
+  std::iota(labels_.begin(), labels_.end(), graph::VertexId{0});
+  next_labels_ = labels_;
+  active_ = util::AtomicBitmap(num_vertices);
+  active_.set_all();
+  tracking_ = sim::TrackedAllocation(tracker, sim::MemoryCategory::kJobSpecific,
+                                     2 * num_vertices * sizeof(graph::VertexId) +
+                                         num_vertices / 8);
+}
+
+void Wcc::iteration_start(std::uint64_t /*iteration*/) {
+  changed_this_iteration_ = false;
+  next_labels_ = labels_;
+}
+
+void Wcc::process_edge(const graph::Edge& e) {
+  // Jacobi min-relax in both directions: reads go to the previous iteration's
+  // labels so the result is independent of edge/partition streaming order.
+  const graph::VertexId ls = labels_[e.src];
+  const graph::VertexId ld = labels_[e.dst];
+  if (ls < next_labels_[e.dst]) {
+    next_labels_[e.dst] = ls;
+    changed_this_iteration_ = true;
+  }
+  if (ld < next_labels_[e.src]) {
+    next_labels_[e.src] = ld;
+    changed_this_iteration_ = true;
+  }
+}
+
+void Wcc::iteration_end() {
+  labels_.swap(next_labels_);
+  ++iterations_done_;
+  if (!changed_this_iteration_) converged_ = true;
+}
+
+}  // namespace graphm::algos

@@ -1,0 +1,24 @@
+#include "graph/csr.hpp"
+
+namespace graphm::graph {
+
+Csr Csr::build(const EdgeList& graph, bool transpose) {
+  Csr csr;
+  const VertexId n = graph.num_vertices();
+  csr.offsets_.assign(n + 1, 0);
+  for (const Edge& e : graph.edges()) {
+    const VertexId key = transpose ? e.dst : e.src;
+    ++csr.offsets_[key + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+  csr.neighbors_.resize(graph.num_edges());
+  std::vector<EdgeCount> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  for (const Edge& e : graph.edges()) {
+    const VertexId key = transpose ? e.dst : e.src;
+    const VertexId other = transpose ? e.src : e.dst;
+    csr.neighbors_[cursor[key]++] = Neighbor{other, e.weight};
+  }
+  return csr;
+}
+
+}  // namespace graphm::graph

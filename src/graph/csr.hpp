@@ -1,0 +1,41 @@
+// Compressed-sparse-row view of a graph. Used by the serial reference
+// algorithm implementations (test oracles) and by the PowerGraph-like engine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace graphm::graph {
+
+class Csr {
+ public:
+  struct Neighbor {
+    VertexId dst;
+    float weight;
+  };
+
+  Csr() = default;
+  /// Builds out-edge CSR; `transpose` builds in-edge CSR instead.
+  static Csr build(const EdgeList& graph, bool transpose = false);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeCount num_edges() const { return neighbors_.size(); }
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+ private:
+  std::vector<EdgeCount> offsets_;
+  std::vector<Neighbor> neighbors_;
+};
+
+}  // namespace graphm::graph

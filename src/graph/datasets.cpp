@@ -1,0 +1,99 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/logging.hpp"
+
+namespace graphm::graph {
+
+namespace fs = std::filesystem;
+
+const std::vector<DatasetSpec>& dataset_specs() {
+  static const std::vector<DatasetSpec> specs = {
+      {"livej_s", "LiveJ (4.8M v / 69M e)", 4'800, 69'000, true},
+      {"orkut_s", "Orkut (3.1M v / 117.2M e)", 3'100, 117'200, true},
+      {"twitter_s", "Twitter (41.7M v / 1.5B e)", 41'700, 1'500'000, true},
+      {"ukunion_s", "UK-union (133.6M v / 5.5B e)", 133'600, 5'500'000, false},
+      {"clueweb_s", "Clueweb12 (978.4M v / 42.6B e)", 489'200, 10'650'000, false},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& spec : dataset_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+std::string dataset_cache_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("GRAPHM_CACHE_DIR");
+    fs::path path = env != nullptr ? fs::path(env) : fs::temp_directory_path() / "graphm_datasets";
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return path.string();
+  }();
+  return dir;
+}
+
+double env_scale() {
+  const char* env = std::getenv("GRAPHM_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) return 1.0;
+  return v;
+}
+
+namespace {
+
+std::mutex g_generate_mutex;
+
+std::string cache_file(const std::string& name, double scale) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_%.4f.bin", scale);
+  return (fs::path(dataset_cache_dir()) / (name + buf)).string();
+}
+
+EdgeList generate(const DatasetSpec& spec, double scale) {
+  const auto v = static_cast<VertexId>(std::max<double>(64.0, spec.num_vertices * scale));
+  const auto e = static_cast<EdgeCount>(std::max<double>(256.0, spec.num_edges * scale));
+  const std::uint64_t seed = std::hash<std::string>{}(spec.name);
+
+  EdgeList graph;
+  if (spec.name == "orkut_s") {
+    graph = generate_chung_lu(v, e, 0.6, seed);
+  } else if (spec.name == "twitter_s") {
+    // More skew than the default RMAT: Twitter's max out-degree is ~3M.
+    graph = generate_rmat(v, e, seed, RmatParams{0.62, 0.19, 0.14});
+  } else {
+    graph = generate_rmat(v, e, seed);
+  }
+  randomize_weights(graph, 1.0f, 64.0f, seed ^ 0x5eed);
+  return graph;
+}
+
+}  // namespace
+
+std::string dataset_path(const std::string& name, double scale) {
+  const DatasetSpec& spec = dataset_spec(name);
+  const std::string path = cache_file(name, scale);
+  std::lock_guard<std::mutex> lock(g_generate_mutex);
+  if (!fs::exists(path)) {
+    GRAPHM_INFO("generating dataset " << name << " at scale " << scale);
+    generate(spec, scale).save(path);
+  }
+  return path;
+}
+
+EdgeList load_dataset(const std::string& name, double scale) {
+  return EdgeList::load(dataset_path(name, scale));
+}
+
+}  // namespace graphm::graph

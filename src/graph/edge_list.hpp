@@ -1,0 +1,47 @@
+// In-memory edge list plus the binary file format every engine preprocesses
+// from ("the original graph data" of Figure 5).
+//
+// File layout: 16-byte header {magic, num_vertices, num_edges} followed by
+// num_edges packed Edge records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace graphm::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges);
+
+  [[nodiscard]] VertexId num_vertices() const { return num_vertices_; }
+  [[nodiscard]] EdgeCount num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& edges() { return edges_; }
+
+  /// Total payload bytes (the S_G of Formula 1).
+  [[nodiscard]] std::uint64_t data_bytes() const { return edges_.size() * sizeof(Edge); }
+
+  void add_edge(VertexId src, VertexId dst, float weight = 1.0f);
+
+  /// Grows num_vertices_ to cover every endpoint present in edges().
+  void fit_num_vertices();
+
+  [[nodiscard]] std::vector<std::uint32_t> out_degrees() const;
+  [[nodiscard]] std::uint32_t max_out_degree() const;
+
+  void save(const std::string& path) const;
+  static EdgeList load(const std::string& path);
+
+  friend bool operator==(const EdgeList&, const EdgeList&) = default;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace graphm::graph

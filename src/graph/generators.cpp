@@ -1,0 +1,106 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace graphm::graph {
+
+using util::SplitMix64;
+
+EdgeList generate_rmat(VertexId num_vertices, EdgeCount num_edges, std::uint64_t seed,
+                       const RmatParams& params) {
+  // Round the id space up to a power of two for the recursive descent, then
+  // fold overflowing ids back into range (keeps the degree skew).
+  int levels = 0;
+  while ((VertexId{1} << levels) < num_vertices) ++levels;
+  if (levels == 0) levels = 1;
+
+  SplitMix64 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (EdgeCount i = 0; i < num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    src %= num_vertices;
+    dst %= num_vertices;
+    edges.push_back(Edge{src, dst, 1.0f});
+  }
+  return EdgeList(num_vertices, std::move(edges));
+}
+
+EdgeList generate_erdos_renyi(VertexId num_vertices, EdgeCount num_edges, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeCount i = 0; i < num_edges; ++i) {
+    const auto src = static_cast<VertexId>(rng.next_below(num_vertices));
+    const auto dst = static_cast<VertexId>(rng.next_below(num_vertices));
+    edges.push_back(Edge{src, dst, 1.0f});
+  }
+  return EdgeList(num_vertices, std::move(edges));
+}
+
+EdgeList generate_chung_lu(VertexId num_vertices, EdgeCount num_edges, double exponent,
+                           std::uint64_t seed) {
+  // Expected-degree weights w_i = (i+1)^-exponent, sampled via the inverse
+  // CDF of the cumulative weight distribution.
+  std::vector<double> cumulative(num_vertices);
+  double total = 0.0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    total += std::pow(static_cast<double>(v) + 1.0, -exponent);
+    cumulative[v] = total;
+  }
+  SplitMix64 rng(seed);
+  auto sample = [&]() -> VertexId {
+    const double r = rng.next_double() * total;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    return static_cast<VertexId>(std::distance(cumulative.begin(), it));
+  };
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeCount i = 0; i < num_edges; ++i) {
+    edges.push_back(Edge{sample(), sample(), 1.0f});
+  }
+  return EdgeList(num_vertices, std::move(edges));
+}
+
+EdgeList generate_ring(VertexId num_vertices, VertexId chord_stride) {
+  std::vector<Edge> edges;
+  edges.reserve(num_vertices * (chord_stride != 0 ? 2u : 1u));
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    edges.push_back(Edge{v, (v + 1) % num_vertices, 1.0f});
+    if (chord_stride != 0) {
+      edges.push_back(Edge{v, (v + chord_stride) % num_vertices, 1.0f});
+    }
+  }
+  return EdgeList(num_vertices, std::move(edges));
+}
+
+void randomize_weights(EdgeList& graph, float lo, float hi, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (Edge& e : graph.edges()) {
+    e.weight = static_cast<float>(rng.next_double(lo, hi));
+  }
+}
+
+}  // namespace graphm::graph

@@ -1,0 +1,66 @@
+// Chunk labelling: Formula 1 (chunk sizing) and Algorithm 1 (the labelling
+// pass that builds the per-partition chunk_table array, Set_c).
+//
+// A chunk is a *logical* range of a partition's edge stream sized to fit the
+// LLC alongside the concurrent jobs' job-specific data; the specific graph
+// representation is never modified. Each chunk_table entry is the paper's
+// key-value pair <source vertex v, N+(v)> — the number of v's out-edges
+// inside the chunk — which is exactly what Formulas 2-4 need to compute
+// per-job computational loads without re-reading the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "sim/cost_model.hpp"
+#include "util/bitmap.hpp"
+
+namespace graphm::core {
+
+/// Formula 1: the largest chunk size Sc with
+///   Sc*N + Sc*N/SG*|V|*Uv + r <= C_LLC,
+/// rounded down to a common multiple of the edge size and the cache line
+/// size "for better locality". Never returns less than one such multiple.
+std::size_t chunk_size_bytes(const sim::PlatformConfig& config, std::uint64_t graph_bytes,
+                             std::uint64_t num_vertices, std::size_t vertex_value_bytes);
+
+struct ChunkEntry {
+  graph::VertexId source;        // v
+  std::uint32_t out_edges;       // N+(v) within the chunk
+};
+
+struct ChunkInfo {
+  graph::EdgeCount edge_begin = 0;  // range within the partition's edge stream
+  graph::EdgeCount edge_end = 0;
+  /// c_table: one entry per distinct source, in first-appearance order.
+  std::vector<ChunkEntry> entries;
+
+  [[nodiscard]] graph::EdgeCount total_edges() const { return edge_end - edge_begin; }
+
+  /// Sum of N+(v) over sources active in `bitmap` — the
+  /// "sum over v in Vk intersect Aj of N+k(v)" term of Formulas 2-3.
+  [[nodiscard]] std::uint64_t active_edges(const util::AtomicBitmap& bitmap) const;
+};
+
+/// Set_c for one partition.
+struct ChunkTable {
+  std::vector<ChunkInfo> chunks;
+
+  [[nodiscard]] graph::EdgeCount total_edges() const;
+  /// Approximate memory footprint, tracked under kChunkTables.
+  [[nodiscard]] std::uint64_t footprint_bytes() const;
+};
+
+/// Algorithm 1: labels one partition's edge stream into chunks of at most
+/// `chunk_bytes` (the final chunk may be smaller).
+ChunkTable label_partition(const graph::Edge* edges, graph::EdgeCount count,
+                           std::size_t chunk_bytes);
+
+/// Re-labels a single chunk's (possibly mutated/updated) content in place;
+/// used when snapshots replace chunk data (Section 3.3.2: "Set_c also needs
+/// to be updated accordingly").
+ChunkInfo label_chunk(const graph::Edge* edges, graph::EdgeCount count,
+                      graph::EdgeCount edge_begin);
+
+}  // namespace graphm::core

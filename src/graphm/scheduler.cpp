@@ -1,0 +1,47 @@
+#include "graphm/scheduler.hpp"
+
+#include <algorithm>
+
+namespace graphm::core {
+
+double partition_priority(const std::set<JobId>& jobs_needing,
+                          const std::map<JobId, std::size_t>& job_active_counts) {
+  if (jobs_needing.empty()) return 0.0;
+  const double n_jobs = static_cast<double>(jobs_needing.size());
+  double best = 0.0;
+  for (const JobId job : jobs_needing) {
+    const auto it = job_active_counts.find(job);
+    const std::size_t active = it == job_active_counts.end() || it->second == 0 ? 1 : it->second;
+    best = std::max(best, (1.0 / static_cast<double>(active)) * n_jobs);
+  }
+  return best;
+}
+
+std::vector<PartitionId> loading_order(const GlobalTable& table, bool use_priority) {
+  std::vector<PartitionId> order;
+  order.reserve(table.size());
+  for (const auto& [pid, jobs] : table) {
+    if (!jobs.empty()) order.push_back(pid);
+  }
+  if (!use_priority) return order;  // std::map iteration is already pid-ascending
+
+  // N_j(P): how many partitions each job currently needs.
+  std::map<JobId, std::size_t> job_active_counts;
+  for (const auto& [pid, jobs] : table) {
+    for (const JobId job : jobs) ++job_active_counts[job];
+  }
+  std::vector<std::pair<double, PartitionId>> scored;
+  scored.reserve(order.size());
+  for (const PartitionId pid : order) {
+    scored.emplace_back(partition_priority(table.at(pid), job_active_counts), pid);
+  }
+  std::stable_sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  order.clear();
+  for (const auto& [priority, pid] : scored) order.push_back(pid);
+  return order;
+}
+
+}  // namespace graphm::core

@@ -1,0 +1,36 @@
+// Section 4's scheduling strategy for out-of-core graph analysis.
+//
+// Formula 5:  Pri(P) = MAX_{j in J(P)}  (1 / N_j(P)) * N(J(P))
+// where J(P) is the set of jobs needing partition P next, N_j(P) the number
+// of active partitions of job j, and N(J(P)) the number of jobs needing P.
+// Partitions handled by jobs with few active partitions float to the front
+// (those jobs finish their iteration quickly and activate more partitions),
+// and partitions wanted by many jobs float to the front (one load serves
+// them all).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace graphm::core {
+
+using JobId = std::uint32_t;
+using PartitionId = std::uint32_t;
+
+/// The global table of Section 3.3.1: partition -> PIDs of jobs that need it.
+using GlobalTable = std::map<PartitionId, std::set<JobId>>;
+
+/// Formula 5 for one partition. `job_active_counts[j]` is N_j(P).
+double partition_priority(const std::set<JobId>& jobs_needing,
+                          const std::map<JobId, std::size_t>& job_active_counts);
+
+/// Orders the partitions of `table` for loading.
+/// use_priority=true  -> Section 4 strategy (descending Formula-5 priority,
+///                       pid ascending as tie-break);
+/// use_priority=false -> the engines' default sequential order (pid
+///                       ascending), the paper's Figure 8(a) baseline.
+std::vector<PartitionId> loading_order(const GlobalTable& table, bool use_priority);
+
+}  // namespace graphm::core

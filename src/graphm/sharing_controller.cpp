@@ -1,0 +1,331 @@
+#include "graphm/sharing_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace graphm::core {
+
+SharingController::SharingController(const storage::PartitionedStore& store, sim::Platform& platform,
+                                     const std::vector<ChunkTable>* chunk_tables,
+                                     GraphMOptions options)
+    : store_(store), platform_(platform), chunk_tables_(chunk_tables), options_(options) {}
+
+void SharingController::register_job(JobId job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobState& state = jobs_[job];
+  state.version = version_counter_;
+  state.finished = false;
+}
+
+void SharingController::job_finished(JobId job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(job);
+  if (it != jobs_.end()) {
+    it->second.finished = true;
+    it->second.needs.clear();
+  }
+  // Drop the job's private mutation copies ("the copied chunks will be
+  // released when the corresponding job is finished").
+  for (auto m = mutations_.begin(); m != mutations_.end();) {
+    if (std::get<0>(m->first) == job) {
+      m = mutations_.erase(m);
+    } else {
+      ++m;
+    }
+  }
+  gc_updates_locked();
+  round_cv_.notify_all();
+}
+
+void SharingController::register_iteration(JobId job, const std::vector<PartitionId>& partitions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobState& state = jobs_[job];
+  state.needs = std::set<PartitionId>(partitions.begin(), partitions.end());
+  round_cv_.notify_all();
+}
+
+bool SharingController::should_defer_locked() const {
+  // A live job with no outstanding needs is at an iteration boundary (about
+  // to call register_iteration) or about to finish. Starting the next
+  // partition round without it would strand it for the whole round, so the
+  // round waits — this is what keeps concurrent jobs traversing the graph
+  // along the same path instead of drifting apart.
+  for (const auto& [job, state] : jobs_) {
+    if (!state.finished && state.needs.empty()) return true;
+  }
+  return false;
+}
+
+void SharingController::advance_locked() {
+  current_pid_ = -1;
+  if (should_defer_locked()) return;
+  // Assemble the global table from every live job's outstanding needs.
+  GlobalTable table;
+  for (const auto& [job, state] : jobs_) {
+    if (state.finished) continue;
+    for (const PartitionId pid : state.needs) table[pid].insert(job);
+  }
+  if (table.empty()) {
+    return;
+  }
+  const std::vector<PartitionId> order = loading_order(table, options_.use_scheduling);
+  const PartitionId pid = order.front();
+
+  current_pid_ = pid;
+  current_unacquired_.clear();
+  current_unreleased_.clear();
+  for (const JobId job : table.at(pid)) {
+    current_unacquired_.insert(job);
+    current_unreleased_.insert(job);
+  }
+  buffer_loaded_ = false;
+  buffer_loading_ = false;
+  barrier_participants_ = current_unreleased_.size();
+  barrier_arrived_ = 0;
+  barrier_chunk_ = 0;
+}
+
+std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool suspended = false;
+  for (;;) {
+    JobState& state = jobs_.at(job);
+    if (state.needs.empty()) return std::nullopt;
+    if (current_pid_ < 0) {
+      advance_locked();
+      if (current_pid_ >= 0) {
+        round_cv_.notify_all();
+        continue;
+      }
+      // Deferred: another live job is at its iteration boundary.
+    } else if (current_unacquired_.count(job) != 0) {
+      break;
+    }
+    // The job does not participate in the current partition (or has already
+    // acquired it, or the round is deferred): suspend until state changes.
+    // Counted once per suspension, not per wakeup.
+    if (!suspended) {
+      suspended = true;
+      ++stats_.suspensions;
+    }
+    round_cv_.wait(lock);
+  }
+
+  const auto pid = static_cast<PartitionId>(current_pid_);
+  current_unacquired_.erase(job);
+
+  if (!buffer_loaded_) {
+    if (!buffer_loading_) {
+      // First arrival: CreateMemory + Load (Algorithm 2 lines 9-10).
+      buffer_loading_ = true;
+      lock.unlock();
+      store_.read_partition(pid, shared_buffer_, platform_, job);
+      lock.lock();
+      buffer_tracking_ = sim::TrackedAllocation(&platform_.memory(),
+                                                sim::MemoryCategory::kGraphStructure,
+                                                shared_buffer_.size() * sizeof(graph::Edge));
+      buffer_loaded_ = true;
+      buffer_loading_ = false;
+      ++stats_.partition_loads;
+      round_cv_.notify_all();
+    } else {
+      round_cv_.wait(lock, [this] { return buffer_loaded_; });
+      ++stats_.attaches;  // Attach (Algorithm 2 line 12)
+    }
+  } else {
+    ++stats_.attaches;
+  }
+
+  return build_view_locked(job, pid);
+}
+
+void SharingController::release(JobId job, PartitionId pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_unreleased_.erase(job);
+  auto it = jobs_.find(job);
+  if (it != jobs_.end()) it->second.needs.erase(pid);
+  if (current_unreleased_.empty() && static_cast<std::int64_t>(pid) == current_pid_) {
+    // Last participant out: drop the shared buffer and move on.
+    buffer_tracking_.release_now();
+    buffer_loaded_ = false;
+    current_pid_ = -1;
+    advance_locked();
+  }
+  round_cv_.notify_all();
+  barrier_cv_.notify_all();
+}
+
+void SharingController::begin_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
+  if (!options_.fine_grained_sync) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  barrier_cv_.wait(lock, [this, pid, chunk_id] {
+    return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ >= chunk_id;
+  });
+}
+
+void SharingController::end_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
+  if (!options_.fine_grained_sync) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (static_cast<std::int64_t>(pid) != current_pid_) return;
+  if (barrier_participants_ <= 1) {
+    barrier_chunk_ = chunk_id + 1;
+    ++stats_.chunk_barriers;
+    return;
+  }
+  if (++barrier_arrived_ == barrier_participants_) {
+    barrier_arrived_ = 0;
+    barrier_chunk_ = chunk_id + 1;
+    ++stats_.chunk_barriers;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [this, pid, chunk_id] {
+    return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ > chunk_id;
+  });
+}
+
+const SharingController::OverlayPtr* SharingController::resolve_overlay_locked(
+    JobId job, PartitionId pid, std::uint32_t chunk_id) const {
+  // 1) job-private mutation wins;
+  const auto m = mutations_.find({job, pid, chunk_id});
+  if (m != mutations_.end()) return &m->second;
+  // 2) latest update with version <= the job's snapshot version.
+  const auto u = updates_.find({pid, chunk_id});
+  if (u != updates_.end()) {
+    const auto job_it = jobs_.find(job);
+    const std::uint64_t job_version = job_it == jobs_.end() ? version_counter_
+                                                            : job_it->second.version;
+    const OverlayPtr* best = nullptr;
+    for (const OverlayPtr& overlay : u->second) {
+      if (overlay->version <= job_version) best = &overlay;
+    }
+    return best;
+  }
+  return nullptr;
+}
+
+grid::PartitionView SharingController::build_view_locked(JobId job, PartitionId pid) {
+  grid::PartitionView view;
+  view.pid = pid;
+  const auto [vb, ve] = store_.meta().vertex_range(pid);
+  view.vertex_begin = vb;
+  view.vertex_end = ve;
+
+  const ChunkTable& table = (*chunk_tables_)[pid];
+  view.chunks.reserve(table.chunks.size());
+  for (std::uint32_t c = 0; c < table.chunks.size(); ++c) {
+    const ChunkInfo& info = table.chunks[c];
+    grid::ChunkSpan span;
+    span.chunk_id = c;
+    if (const OverlayPtr* overlay = resolve_overlay_locked(job, pid, c)) {
+      span.edges = (*overlay)->edges.data();
+      span.edge_count = (*overlay)->edges.size();
+    } else {
+      span.edges = shared_buffer_.data() + info.edge_begin;
+      span.edge_count = info.total_edges();
+    }
+    span.llc_base = reinterpret_cast<std::uint64_t>(span.edges);
+    view.chunks.push_back(span);
+  }
+  if (table.chunks.empty() && !shared_buffer_.empty()) {
+    // Partition without a chunk table (shouldn't happen after Init, but keep
+    // the engine safe): expose it as a single chunk.
+    view.chunks.push_back(grid::ChunkSpan{
+        shared_buffer_.data(), shared_buffer_.size(),
+        reinterpret_cast<std::uint64_t>(shared_buffer_.data()), 0});
+  }
+  return view;
+}
+
+std::vector<graph::Edge> SharingController::base_chunk_content_locked(PartitionId pid,
+                                                                      std::uint32_t chunk_id,
+                                                                      JobId job) {
+  const ChunkInfo& info = (*chunk_tables_)[pid].chunks.at(chunk_id);
+  std::vector<graph::Edge> edges(info.total_edges());
+  store_.read_edges(pid, info.edge_begin, info.total_edges(), edges.data(), platform_, job);
+  return edges;
+}
+
+SharingController::OverlayPtr SharingController::make_overlay_locked(
+    PartitionId pid, std::uint32_t chunk_id, std::vector<graph::Edge> edges,
+    std::uint64_t version) {
+  auto overlay = std::make_shared<OverlayChunk>();
+  overlay->info = label_chunk(edges.data(), edges.size(),
+                              (*chunk_tables_)[pid].chunks.at(chunk_id).edge_begin);
+  overlay->version = version;
+  overlay->tracking = sim::TrackedAllocation(&platform_.memory(),
+                                             sim::MemoryCategory::kGraphStructure,
+                                             edges.size() * sizeof(graph::Edge));
+  overlay->edges = std::move(edges);
+  ++stats_.snapshot_copies;
+  return overlay;
+}
+
+void SharingController::apply_mutation(JobId job, PartitionId pid, std::uint32_t chunk_id,
+                                       std::vector<graph::Edge> new_edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mutations_[{job, pid, chunk_id}] =
+      make_overlay_locked(pid, chunk_id, std::move(new_edges), 0);
+}
+
+std::uint64_t SharingController::apply_update(PartitionId pid, std::uint32_t chunk_id,
+                                              std::vector<graph::Edge> new_edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t version = ++version_counter_;
+  updates_[{pid, chunk_id}].push_back(
+      make_overlay_locked(pid, chunk_id, std::move(new_edges), version));
+  return version;
+}
+
+std::vector<graph::Edge> SharingController::chunk_content(JobId job, PartitionId pid,
+                                                          std::uint32_t chunk_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (const OverlayPtr* overlay = resolve_overlay_locked(job, pid, chunk_id)) {
+    return (*overlay)->edges;
+  }
+  return base_chunk_content_locked(pid, chunk_id, job);
+}
+
+void SharingController::gc_updates_locked() {
+  // "when all previous jobs are completed, these copied chunks will be
+  // released": an update version is dead once a newer version exists that is
+  // visible to every live job.
+  std::uint64_t min_live_version = version_counter_;
+  for (const auto& [job, state] : jobs_) {
+    if (!state.finished) min_live_version = std::min(min_live_version, state.version);
+  }
+  for (auto& [key, versions] : updates_) {
+    // Keep the last version whose `version <= min_live_version` and
+    // everything newer; drop older entries.
+    std::size_t keep_from = 0;
+    for (std::size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i]->version <= min_live_version) keep_from = i;
+    }
+    if (keep_from > 0) versions.erase(versions.begin(), versions.begin() + keep_from);
+  }
+}
+
+SharingController::Stats SharingController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SharingController::live_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& [job, state] : jobs_) {
+    if (!state.finished) ++live;
+  }
+  return live;
+}
+
+std::size_t SharingController::snapshot_chunks_live() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = mutations_.size();
+  for (const auto& [key, versions] : updates_) live += versions.size();
+  return live;
+}
+
+}  // namespace graphm::core

@@ -1,0 +1,151 @@
+// The graph sharing controller (Section 3.3) plus the consistent-snapshot
+// machinery (Section 3.3.2) and the chunk-grained synchronization barrier
+// the synchronization manager drives (Section 3.4.2).
+//
+// One SharingController serves all concurrent jobs of one graph:
+//  * a global table maps each partition to the set of jobs that must process
+//    it next; the loading order over that table comes from Section 4's
+//    priority (Formula 5) or, without the strategy, ascending pid;
+//  * exactly one partition is resident at a time in a single shared buffer
+//    (Algorithm 2: the first arriving job loads, the rest attach); jobs that
+//    do not need the current partition are suspended on a condition variable
+//    and resumed when one of theirs becomes current;
+//  * while a partition is shared, its participant jobs step through the
+//    labelled chunks in lock-step (a generation barrier per chunk), so each
+//    chunk is pulled into the simulated LLC once and reused by every job;
+//  * snapshots: *mutations* are chunk-grained copies private to one job;
+//    *updates* are chunk-grained versions visible only to jobs submitted
+//    later — earlier jobs keep resolving to the older version.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graphm/chunk_table.hpp"
+#include "graphm/scheduler.hpp"
+#include "grid/grid_store.hpp"
+#include "grid/partition_view.hpp"
+#include "sim/platform.hpp"
+
+namespace graphm::core {
+
+struct GraphMOptions {
+  bool use_scheduling = true;      // Section 4 strategy (Figure 18 ablation)
+  bool fine_grained_sync = true;   // chunk barrier (ablation)
+  std::size_t vertex_value_bytes = sizeof(double);  // Uv of Formula 1
+  std::size_t chunk_bytes_override = 0;             // 0 = Formula 1
+};
+
+/// Reserved job id for preprocessing-time I/O accounting.
+inline constexpr std::uint32_t kPreprocessJobId = 255;
+
+class SharingController {
+ public:
+  struct Stats {
+    std::uint64_t partition_loads = 0;   // Load() executions (buffer fills)
+    std::uint64_t attaches = 0;          // jobs served from the shared buffer
+    std::uint64_t suspensions = 0;       // waits in acquire_next
+    std::uint64_t chunk_barriers = 0;    // completed chunk barrier rounds
+    std::uint64_t snapshot_copies = 0;   // COW chunk copies created
+  };
+
+  SharingController(const storage::PartitionedStore& store, sim::Platform& platform,
+                    const std::vector<ChunkTable>* chunk_tables, GraphMOptions options);
+
+  // --- job lifecycle -------------------------------------------------------
+  /// Captures the job's snapshot version (updates applied later stay
+  /// invisible to it).
+  void register_job(JobId job);
+  void job_finished(JobId job);
+
+  // --- iteration protocol (the PartitionLoader seam) -----------------------
+  void register_iteration(JobId job, const std::vector<PartitionId>& partitions);
+  std::optional<grid::PartitionView> acquire_next(JobId job);
+  void release(JobId job, PartitionId pid);
+  void begin_chunk(JobId job, PartitionId pid, std::uint32_t chunk_id);
+  void end_chunk(JobId job, PartitionId pid, std::uint32_t chunk_id);
+
+  // --- snapshots (Section 3.3.2) -------------------------------------------
+  /// Job-private modification of one chunk; other jobs keep the shared data.
+  void apply_mutation(JobId job, PartitionId pid, std::uint32_t chunk_id,
+                      std::vector<graph::Edge> new_edges);
+  /// Graph update: visible to jobs registered *after* this call. Returns the
+  /// new version number.
+  std::uint64_t apply_update(PartitionId pid, std::uint32_t chunk_id,
+                             std::vector<graph::Edge> new_edges);
+  /// The chunk content the given job would observe (loads the base from disk
+  /// if no overlay applies). For tests and the evolving-graph example.
+  std::vector<graph::Edge> chunk_content(JobId job, PartitionId pid, std::uint32_t chunk_id);
+
+  [[nodiscard]] Stats stats() const;
+  /// Number of live (registered, unfinished) jobs.
+  [[nodiscard]] std::size_t live_jobs() const;
+  /// Currently retained snapshot chunk copies (after GC).
+  [[nodiscard]] std::size_t snapshot_chunks_live() const;
+
+ private:
+  struct JobState {
+    std::set<PartitionId> needs;
+    std::uint64_t version = 0;
+    bool finished = false;
+  };
+  struct OverlayChunk {
+    std::vector<graph::Edge> edges;
+    ChunkInfo info;              // re-labelled (Set_c update)
+    std::uint64_t version = 0;   // updates only
+    sim::TrackedAllocation tracking;
+  };
+  using OverlayPtr = std::shared_ptr<OverlayChunk>;
+
+  void advance_locked();
+  [[nodiscard]] bool should_defer_locked() const;
+  [[nodiscard]] grid::PartitionView build_view_locked(JobId job, PartitionId pid);
+  [[nodiscard]] const OverlayPtr* resolve_overlay_locked(JobId job, PartitionId pid,
+                                                         std::uint32_t chunk_id) const;
+  void gc_updates_locked();
+  OverlayPtr make_overlay_locked(PartitionId pid, std::uint32_t chunk_id,
+                                 std::vector<graph::Edge> edges, std::uint64_t version);
+  std::vector<graph::Edge> base_chunk_content_locked(PartitionId pid, std::uint32_t chunk_id,
+                                                     JobId job);
+
+  const storage::PartitionedStore& store_;
+  sim::Platform& platform_;
+  const std::vector<ChunkTable>* chunk_tables_;
+  GraphMOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable round_cv_;   // round advance, buffer loads, registrations
+  std::condition_variable barrier_cv_;  // chunk barrier (participants only)
+
+  std::map<JobId, JobState> jobs_;
+  std::uint64_t version_counter_ = 0;
+
+  // Serving state (Algorithm 2).
+  std::int64_t current_pid_ = -1;
+  std::set<JobId> current_unacquired_;
+  std::set<JobId> current_unreleased_;
+  std::vector<graph::Edge> shared_buffer_;
+  bool buffer_loaded_ = false;
+  bool buffer_loading_ = false;
+  sim::TrackedAllocation buffer_tracking_;
+
+  // Chunk barrier.
+  std::size_t barrier_participants_ = 0;
+  std::size_t barrier_arrived_ = 0;
+  std::uint32_t barrier_chunk_ = 0;
+
+  // Snapshots: mutations keyed by (job, pid, chunk); updates keyed by
+  // (pid, chunk) as a version-ascending list.
+  std::map<std::tuple<JobId, PartitionId, std::uint32_t>, OverlayPtr> mutations_;
+  std::map<std::pair<PartitionId, std::uint32_t>, std::vector<OverlayPtr>> updates_;
+
+  Stats stats_;
+};
+
+}  // namespace graphm::core

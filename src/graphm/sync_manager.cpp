@@ -1,0 +1,109 @@
+#include "graphm/sync_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphm::core {
+
+void SyncManager::record_chunk(std::uint32_t job_id, std::uint64_t active_edges,
+                               std::uint64_t total_edges, std::uint64_t elapsed_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobProfile& profile = profiles_[job_id];
+  profile.pending.active_edges += active_edges;
+  profile.pending.total_edges += total_edges;
+  profile.pending.elapsed_ns += elapsed_ns;
+
+  if (active_edges == 0 && total_edges != 0) {
+    // Pure streaming: this chunk's time is T(E) * total_edges. Running mean.
+    const double sample = static_cast<double>(elapsed_ns) / static_cast<double>(total_edges);
+    t_e_ns_ = (t_e_ns_ * static_cast<double>(t_e_samples_) + sample) /
+              static_cast<double>(t_e_samples_ + 1);
+    ++t_e_samples_;
+  }
+}
+
+void SyncManager::finish_partition(std::uint32_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobProfile& profile = profiles_[job_id];
+  if (profile.pending.total_edges != 0) {
+    profile.closed.push_back(profile.pending);
+  }
+  profile.pending = PartitionObservation{};
+
+  // With two observations of distinct A/B ratio and no direct T(E) sample
+  // yet, Formula 2 is a solvable 2x2 system — solve it once.
+  if (t_e_samples_ == 0 && profile.closed.size() >= 2) {
+    const auto& o1 = profile.closed[profile.closed.size() - 2];
+    const auto& o2 = profile.closed.back();
+    const double a1 = static_cast<double>(o1.active_edges);
+    const double b1 = static_cast<double>(o1.total_edges);
+    const double a2 = static_cast<double>(o2.active_edges);
+    const double b2 = static_cast<double>(o2.total_edges);
+    const double det = a1 * b2 - a2 * b1;
+    if (std::abs(det) > 1e-9 * std::max(1.0, std::abs(a1 * b2))) {
+      const double t1 = static_cast<double>(o1.elapsed_ns);
+      const double t2 = static_cast<double>(o2.elapsed_ns);
+      const double te = (a1 * t2 - a2 * t1) / det;
+      if (te > 0.0) {
+        t_e_ns_ = te;
+        t_e_samples_ = 1;
+      }
+    }
+  }
+}
+
+bool SyncManager::profiled(std::uint32_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = profiles_.find(job_id);
+  return it != profiles_.end() && it->second.closed.size() >= 2;
+}
+
+double SyncManager::t_f_locked(std::uint32_t job_id) const {
+  const auto it = profiles_.find(job_id);
+  if (it == profiles_.end() || it->second.closed.empty()) return 0.0;
+  // Least squares with known T(E): minimize over TF of
+  //   sum_i (T_i - TE*B_i - TF*A_i)^2  =>  TF = sum A_i*(T_i - TE*B_i) / sum A_i^2.
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const auto& o : it->second.closed) {
+    const double a = static_cast<double>(o.active_edges);
+    const double residual =
+        static_cast<double>(o.elapsed_ns) - t_e_ns_ * static_cast<double>(o.total_edges);
+    numerator += a * residual;
+    denominator += a * a;
+  }
+  if (denominator == 0.0) return 0.0;
+  return std::max(0.0, numerator / denominator);
+}
+
+double SyncManager::t_f(std::uint32_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return t_f_locked(job_id);
+}
+
+double SyncManager::t_e() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return t_e_ns_;
+}
+
+double SyncManager::chunk_load_ns(std::uint32_t job_id, const ChunkInfo& chunk,
+                                  const util::AtomicBitmap& active) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return t_f_locked(job_id) * static_cast<double>(chunk.active_edges(active));
+}
+
+double SyncManager::first_toucher_ns(std::uint32_t job_id, const ChunkInfo& chunk,
+                                     const util::AtomicBitmap& active) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return t_f_locked(job_id) * static_cast<double>(chunk.active_edges(active)) +
+         t_e_ns_ * static_cast<double>(chunk.total_edges());
+}
+
+std::vector<SyncManager::PartitionObservation> SyncManager::observations(
+    std::uint32_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = profiles_.find(job_id);
+  return it == profiles_.end() ? std::vector<PartitionObservation>{} : it->second.closed;
+}
+
+}  // namespace graphm::core

@@ -1,0 +1,81 @@
+// Fine-grained synchronization support: the profiling and syncing phases of
+// Section 3.4.2.
+//
+// Profiling phase (Formula 2): for each job j the execution time of a
+// partition decomposes as
+//     T_i = T(F_j) * A_i + T(E) * B_i
+// where A_i = sum of N+(v) over *active* sources (the job's relaxation work)
+// and B_i = sum of N+(v) over all sources (the streaming/data-access work).
+// T(E) — the per-edge data-access time — is a property of the graph and is
+// profiled once: chunks that contain no active vertex for a job are pure
+// streaming, so their time gives T(E) directly. T(F_j) then follows from the
+// job's first two profiled partitions (least squares over all of them).
+//
+// Syncing phase (Formulas 3-4): the per-chunk computational load
+//     L_k_j = T(F_j) * active_edges_k(j)
+// and the first-toucher time
+//     F_k_j = L_k_j + T(E) * total_edges_k
+// quantify the skewed per-job CPU shares GraphM allocates while all jobs
+// step through the chunks in lock-step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "graphm/chunk_table.hpp"
+
+namespace graphm::core {
+
+class SyncManager {
+ public:
+  struct PartitionObservation {
+    std::uint64_t active_edges = 0;  // A_i
+    std::uint64_t total_edges = 0;   // B_i
+    std::uint64_t elapsed_ns = 0;    // T_i
+  };
+
+  /// Chunk-level sample from the engine (accumulated into the current
+  /// partition observation; zero-active chunks additionally refine T(E)).
+  void record_chunk(std::uint32_t job_id, std::uint64_t active_edges,
+                    std::uint64_t total_edges, std::uint64_t elapsed_ns);
+
+  /// Closes the current partition observation for the job (called when the
+  /// job releases a partition).
+  void finish_partition(std::uint32_t job_id);
+
+  /// True once the job's first two active partitions have been profiled.
+  [[nodiscard]] bool profiled(std::uint32_t job_id) const;
+
+  /// T(F_j) in ns/edge. Returns 0 if unprofiled.
+  [[nodiscard]] double t_f(std::uint32_t job_id) const;
+
+  /// T(E) in ns/edge (0 until any pure-streaming sample or solvable system
+  /// has been seen).
+  [[nodiscard]] double t_e() const;
+
+  /// Formula 3.
+  [[nodiscard]] double chunk_load_ns(std::uint32_t job_id, const ChunkInfo& chunk,
+                                     const util::AtomicBitmap& active) const;
+  /// Formula 4.
+  [[nodiscard]] double first_toucher_ns(std::uint32_t job_id, const ChunkInfo& chunk,
+                                        const util::AtomicBitmap& active) const;
+
+  [[nodiscard]] std::vector<PartitionObservation> observations(std::uint32_t job_id) const;
+
+ private:
+  struct JobProfile {
+    PartitionObservation pending;      // accumulating the current partition
+    std::vector<PartitionObservation> closed;
+  };
+
+  [[nodiscard]] double t_f_locked(std::uint32_t job_id) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, JobProfile> profiles_;
+  double t_e_ns_ = 0.0;
+  std::uint64_t t_e_samples_ = 0;
+};
+
+}  // namespace graphm::core

@@ -1,0 +1,38 @@
+// A loaded partition as the streaming engine sees it: an ordered list of
+// chunk spans. Under the default loader the whole partition is one span;
+// under GraphM each span is one labelled chunk (possibly redirected to a
+// copy-on-write snapshot chunk), which is what makes chunk-grained
+// synchronization and snapshot isolation possible without the engine caring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace graphm::grid {
+
+struct ChunkSpan {
+  const graph::Edge* edges = nullptr;
+  graph::EdgeCount edge_count = 0;
+  /// Address fed to the LLC simulator (the span's actual buffer address, so
+  /// shared buffers hit the same simulated lines and private copies do not).
+  std::uint64_t llc_base = 0;
+  /// Index of this chunk within the partition's chunk table (or 0).
+  std::uint32_t chunk_id = 0;
+};
+
+struct PartitionView {
+  std::uint32_t pid = 0;
+  std::vector<ChunkSpan> chunks;
+  graph::VertexId vertex_begin = 0;  // partition's source-vertex range
+  graph::VertexId vertex_end = 0;
+
+  [[nodiscard]] graph::EdgeCount total_edges() const {
+    graph::EdgeCount total = 0;
+    for (const auto& c : chunks) total += c.edge_count;
+    return total;
+  }
+};
+
+}  // namespace graphm::grid

@@ -1,0 +1,60 @@
+// The GridGraph-like streaming-apply engine.
+//
+// One call to run_job() executes a complete iterative job: every iteration it
+// derives the active partitions from the algorithm's frontier (GridGraph's
+// `should_access_shard`), asks the PartitionLoader for partitions one by one
+// (that seam is where GraphM plugs in, Figure 6), streams each loaded chunk
+// through the algorithm's process_edge, and reports simulated LLC accesses,
+// instructions and timings.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/algorithm.hpp"
+#include "grid/grid_store.hpp"
+#include "grid/loader.hpp"
+#include "sim/platform.hpp"
+
+namespace graphm::grid {
+
+struct StreamConfig {
+  bool model_llc = true;          // feed buffer addresses through the LLC sim
+  bool model_vertex_data = true;  // also model job-specific value accesses
+  std::uint64_t max_iterations_guard = 100000;  // safety net against bugs
+};
+
+struct JobRunStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t edges_streamed = 0;   // edges scanned (loaded chunks)
+  std::uint64_t edges_processed = 0;  // edges whose source was active
+  std::uint64_t partitions_loaded = 0;
+  std::uint64_t compute_ns = 0;   // time inside the edge loops
+  std::uint64_t io_stall_ns = 0;  // modeled disk stall attributed to this job
+  std::uint64_t wall_ns = 0;      // end-to-end (includes suspension under -M)
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(const storage::PartitionedStore& store, sim::Platform& platform, StreamConfig config = {});
+
+  /// Runs `algorithm` to completion as job `job_id`, loading partitions via
+  /// `loader`. Thread-safe w.r.t. other jobs running on the same engine.
+  JobRunStats run_job(std::uint32_t job_id, algos::StreamingAlgorithm& algorithm,
+                      PartitionLoader& loader) const;
+
+  /// Partitions with at least one active source vertex and at least one edge.
+  [[nodiscard]] std::vector<std::uint32_t> active_partitions(
+      const util::AtomicBitmap& active) const;
+
+  [[nodiscard]] const storage::PartitionedStore& store() const { return store_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& out_degrees() const { return out_degrees_; }
+  [[nodiscard]] sim::Platform& platform() const { return platform_; }
+
+ private:
+  const storage::PartitionedStore& store_;
+  sim::Platform& platform_;
+  StreamConfig config_;
+  std::vector<std::uint32_t> out_degrees_;
+};
+
+}  // namespace graphm::grid

@@ -1,0 +1,64 @@
+#include "runtime/job_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace graphm::runtime {
+
+std::vector<std::uint64_t> poisson_arrivals(std::size_t count, double lambda,
+                                            std::uint64_t mean_scale_ns, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> offsets(count, 0);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    offsets[i] = static_cast<std::uint64_t>(t);
+    // Mean inter-arrival = mean_scale_ns / lambda.
+    t += util::exponential_sample(rng, 1.0) * static_cast<double>(mean_scale_ns) /
+         std::max(lambda, 1e-9);
+  }
+  return offsets;
+}
+
+std::vector<TracePoint> synthesize_week_trace(std::size_t hours, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<TracePoint> trace(hours);
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double t = static_cast<double>(h);
+    // Diurnal swing around a mean of ~16 with a mid-week surge; bounded noise.
+    const double diurnal = 7.0 * std::sin(2.0 * kPi * (t - 9.0) / 24.0);
+    const double weekly = 4.0 * std::sin(2.0 * kPi * (t - 40.0) / 168.0);
+    const double noise = rng.next_double(-3.0, 3.0);
+    double level = 16.0 + diurnal + weekly + noise;
+    // One sharp peak per week, as in the measured trace (> 30 jobs).
+    if (h % 168 == 81) level = 31.0 + rng.next_double(0.0, 3.0);
+    trace[h].hour = t;
+    trace[h].concurrent_jobs = static_cast<std::uint32_t>(std::clamp(level, 2.0, 34.0));
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> trace_to_arrivals(const std::vector<TracePoint>& trace,
+                                             double job_duration_hours, std::uint64_t hour_ns,
+                                             std::size_t max_jobs) {
+  // To hold `c` jobs concurrent with duration d hours, submit c/d jobs/hour.
+  std::vector<std::uint64_t> offsets;
+  const double d = std::max(job_duration_hours, 1e-3);
+  double backlog = 0.0;
+  for (const TracePoint& point : trace) {
+    backlog += static_cast<double>(point.concurrent_jobs) / d;
+    std::uint32_t due = static_cast<std::uint32_t>(backlog);
+    backlog -= due;
+    for (std::uint32_t i = 0; i < due && offsets.size() < max_jobs; ++i) {
+      const double frac = due == 0 ? 0.0 : static_cast<double>(i) / static_cast<double>(due);
+      offsets.push_back(static_cast<std::uint64_t>((point.hour + frac) *
+                                                   static_cast<double>(hour_ns)));
+    }
+    if (offsets.size() >= max_jobs) break;
+  }
+  return offsets;
+}
+
+}  // namespace graphm::runtime

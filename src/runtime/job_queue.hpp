@@ -1,0 +1,37 @@
+// Arrival processes for the paper's workload experiments:
+//  * Poisson job submission (Section 5.1: inter-arrival times follow a
+//    Poisson process, lambda = 16 by default; Figure 16 sweeps lambda);
+//  * a synthesizer for the one-week production trace of Figure 2 (peak > 30
+//    concurrent jobs, mean about 16, diurnal shape), used again by the
+//    Figure 15 trace-replay experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace graphm::runtime {
+
+/// Submission offsets (ns) for `count` jobs whose inter-arrival times are
+/// Exp(lambda) in units of `mean_scale_ns / lambda` — larger lambda packs the
+/// submissions tighter, as in Figure 16.
+std::vector<std::uint64_t> poisson_arrivals(std::size_t count, double lambda,
+                                            std::uint64_t mean_scale_ns, std::uint64_t seed);
+
+struct TracePoint {
+  double hour = 0.0;            // time since trace start
+  std::uint32_t concurrent_jobs = 0;
+};
+
+/// Synthesizes the Figure-2 style one-week concurrency trace: `hours` hourly
+/// samples with a diurnal swing, a weekly peak above 30 and a mean near 16.
+std::vector<TracePoint> synthesize_week_trace(std::size_t hours, std::uint64_t seed);
+
+/// Converts a concurrency trace into per-job submission offsets: in each hour
+/// enough jobs are submitted to track the trace level, assuming each job runs
+/// for roughly `job_duration_hours`. `hour_ns` compresses one trace hour into
+/// that many real nanoseconds for replay.
+std::vector<std::uint64_t> trace_to_arrivals(const std::vector<TracePoint>& trace,
+                                             double job_duration_hours, std::uint64_t hour_ns,
+                                             std::size_t max_jobs);
+
+}  // namespace graphm::runtime

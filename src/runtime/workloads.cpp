@@ -1,0 +1,65 @@
+#include "runtime/workloads.hpp"
+
+#include "util/rng.hpp"
+
+namespace graphm::runtime {
+
+std::vector<algos::JobSpec> paper_mix(std::size_t count, graph::VertexId num_vertices,
+                                      std::uint64_t seed) {
+  std::vector<algos::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back(algos::random_job_spec(i, num_vertices, seed));
+  }
+  return jobs;
+}
+
+std::vector<algos::JobSpec> uniform_mix(algos::AlgorithmKind kind, std::size_t count,
+                                        graph::VertexId num_vertices, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<algos::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    algos::JobSpec spec;
+    spec.kind = kind;
+    switch (kind) {
+      case algos::AlgorithmKind::kPageRank:
+        spec.damping = rng.next_double(0.1, 0.85);
+        spec.max_iterations = 5;
+        break;
+      case algos::AlgorithmKind::kWcc:
+        spec.max_iterations = 1 + static_cast<std::uint32_t>(rng.next_below(24));
+        break;
+      case algos::AlgorithmKind::kBfs:
+      case algos::AlgorithmKind::kSssp:
+        spec.root = static_cast<graph::VertexId>(rng.next_below(num_vertices));
+        break;
+    }
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+std::vector<algos::JobSpec> rooted_mix(algos::AlgorithmKind kind, std::size_t count,
+                                       const std::vector<std::uint32_t>& base_levels,
+                                       std::uint32_t hops, std::uint64_t seed) {
+  // Candidate roots: vertices within `hops` of the base vertex.
+  std::vector<graph::VertexId> candidates;
+  for (graph::VertexId v = 0; v < base_levels.size(); ++v) {
+    if (base_levels[v] <= hops) candidates.push_back(v);
+  }
+  if (candidates.empty()) candidates.push_back(0);
+
+  util::SplitMix64 rng(seed);
+  std::vector<algos::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    algos::JobSpec spec;
+    spec.kind = kind;
+    spec.root = candidates[rng.next_below(candidates.size())];
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+}  // namespace graphm::runtime

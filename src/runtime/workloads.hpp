@@ -1,0 +1,27 @@
+// Standard job mixes used across the benches, mirroring Section 5.1: WCC,
+// PageRank, SSSP and BFS submitted in turn with randomized parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algos/factory.hpp"
+
+namespace graphm::runtime {
+
+/// The paper's default mix: `count` jobs cycling WCC/PageRank/SSSP/BFS with
+/// per-job randomized parameters.
+std::vector<algos::JobSpec> paper_mix(std::size_t count, graph::VertexId num_vertices,
+                                      std::uint64_t seed);
+
+/// `count` identical-kind jobs (e.g. Figure 19's PageRank scaling).
+std::vector<algos::JobSpec> uniform_mix(algos::AlgorithmKind kind, std::size_t count,
+                                        graph::VertexId num_vertices, std::uint64_t seed);
+
+/// Roots within `hops` hops of a base vertex (Figure 17): BFS/SSSP jobs whose
+/// data accesses overlap more the closer the roots are.
+std::vector<algos::JobSpec> rooted_mix(algos::AlgorithmKind kind, std::size_t count,
+                                       const std::vector<std::uint32_t>& base_levels,
+                                       std::uint32_t hops, std::uint64_t seed);
+
+}  // namespace graphm::runtime

@@ -1,0 +1,19 @@
+#include "shard/graphchi_engine.hpp"
+
+namespace graphm::shard {
+
+GraphChiEngine::GraphChiEngine(const ShardStore& store, sim::Platform& platform,
+                               grid::StreamConfig config)
+    : store_(store), platform_(platform), core_(store, platform, config) {}
+
+grid::JobRunStats GraphChiEngine::run_job(std::uint32_t job_id,
+                                          algos::StreamingAlgorithm& algorithm,
+                                          grid::PartitionLoader& loader) const {
+  return core_.run_job(job_id, algorithm, loader);
+}
+
+std::unique_ptr<grid::PartitionLoader> GraphChiEngine::make_default_loader() const {
+  return std::make_unique<grid::DefaultLoader>(store_, platform_);
+}
+
+}  // namespace graphm::shard

@@ -1,0 +1,109 @@
+#include "sim/cache_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace graphm::sim {
+
+namespace {
+std::size_t round_down_pow2(std::size_t v) {
+  if (v == 0) return 1;
+  return std::size_t{1} << (63 - std::countl_zero(static_cast<std::uint64_t>(v)));
+}
+}  // namespace
+
+CacheSim::CacheSim(std::size_t capacity_bytes, std::size_t ways, std::size_t line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  if (ways == 0 || line_bytes == 0) throw std::invalid_argument("CacheSim: zero ways/line");
+  num_sets_ = round_down_pow2(std::max<std::size_t>(1, capacity_bytes / (ways * line_bytes)));
+  sets_.assign(num_sets_ * ways_, Way{});
+}
+
+void CacheSim::access(std::uint64_t addr, std::uint32_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  access_line_locked(addr / line_bytes_, job_id, 1);
+}
+
+void CacheSim::access_range(std::uint64_t base, std::size_t len, std::uint32_t job_id,
+                            std::uint32_t weight) {
+  if (len == 0 || weight == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t first = base / line_bytes_;
+  const std::uint64_t last = (base + len - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    access_line_locked(line, job_id, weight);
+  }
+}
+
+void CacheSim::access_line_locked(std::uint64_t line_addr, std::uint32_t job_id,
+                                  std::uint32_t weight) {
+  const std::size_t set = static_cast<std::size_t>(line_addr & (num_sets_ - 1));
+  Way* base = &sets_[set * ways_];
+  CacheStats& js = stats_for_locked(job_id);
+
+  // First touch of this burst: normal lookup.
+  std::size_t victim = 0;
+  bool hit = false;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line_addr) {
+      hit = true;
+      victim = w;
+      break;
+    }
+    const std::uint64_t use = base[w].valid ? base[w].last_use : 0;
+    if (!base[w].valid) {
+      // Prefer an invalid way outright.
+      victim = w;
+      oldest = 0;
+    } else if (use < oldest) {
+      oldest = use;
+      victim = w;
+    }
+  }
+
+  total_.accesses += weight;
+  js.accesses += weight;
+  if (!hit) {
+    total_.misses += 1;
+    total_.bytes_swapped_in += line_bytes_;
+    js.misses += 1;
+    js.bytes_swapped_in += line_bytes_;
+    base[victim].tag = line_addr;
+    base[victim].valid = true;
+  }
+  base[victim].last_use = ++tick_;
+}
+
+CacheStats& CacheSim::stats_for_locked(std::uint32_t job_id) {
+  if (job_id >= per_job_.size()) per_job_.resize(job_id + 1);
+  return per_job_[job_id];
+}
+
+CacheStats CacheSim::total_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+CacheStats CacheSim::job_stats(std::uint32_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job_id >= per_job_.size()) return CacheStats{};
+  return per_job_[job_id];
+}
+
+void CacheSim::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ = CacheStats{};
+  per_job_.clear();
+}
+
+void CacheSim::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_ = CacheStats{};
+  per_job_.clear();
+  std::fill(sets_.begin(), sets_.end(), Way{});
+  tick_ = 0;
+}
+
+}  // namespace graphm::sim

@@ -1,0 +1,52 @@
+#include "sim/memory_tracker.hpp"
+
+namespace graphm::sim {
+
+namespace {
+void bump(std::atomic<std::uint64_t>& current, std::atomic<std::uint64_t>& peak,
+          std::uint64_t bytes) {
+  const std::uint64_t now = current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t prev_peak = peak.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void MemoryTracker::allocate(MemoryCategory cat, std::uint64_t bytes) {
+  auto& c = by_category_[static_cast<int>(cat)];
+  bump(c.current, c.peak, bytes);
+  bump(total_.current, total_.peak, bytes);
+}
+
+void MemoryTracker::release(MemoryCategory cat, std::uint64_t bytes) {
+  by_category_[static_cast<int>(cat)].current.fetch_sub(bytes, std::memory_order_relaxed);
+  total_.current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::current(MemoryCategory cat) const {
+  return by_category_[static_cast<int>(cat)].current.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::peak(MemoryCategory cat) const {
+  return by_category_[static_cast<int>(cat)].peak.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::current_total() const {
+  return total_.current.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryTracker::peak_total() const {
+  return total_.peak.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset() {
+  for (auto& c : by_category_) {
+    c.current.store(0, std::memory_order_relaxed);
+    c.peak.store(0, std::memory_order_relaxed);
+  }
+  total_.current.store(0, std::memory_order_relaxed);
+  total_.peak.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace graphm::sim

@@ -1,0 +1,52 @@
+#include "sim/platform.hpp"
+
+namespace graphm::sim {
+
+Platform::Platform(const PlatformConfig& config)
+    : config_(config),
+      llc_(config.llc_bytes, config.llc_ways, config.cache_line),
+      page_cache_(config.memory_bytes, config.page_bytes, config.disk_bandwidth_bytes_per_s,
+                  config.disk_latency_s) {}
+
+void Platform::add_instructions(std::uint32_t job_id, std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(instr_mutex_);
+  if (job_id >= instructions_.size()) instructions_.resize(job_id + 1, 0);
+  instructions_[job_id] += count;
+}
+
+std::uint64_t Platform::instructions(std::uint32_t job_id) const {
+  std::lock_guard<std::mutex> lock(instr_mutex_);
+  if (job_id >= instructions_.size()) return 0;
+  return instructions_[job_id];
+}
+
+std::uint64_t Platform::total_instructions() const {
+  std::lock_guard<std::mutex> lock(instr_mutex_);
+  std::uint64_t total = 0;
+  for (std::uint64_t v : instructions_) total += v;
+  return total;
+}
+
+double Platform::average_lpi(const std::vector<std::uint32_t>& job_ids) const {
+  if (job_ids.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::uint32_t job : job_ids) {
+    const std::uint64_t instr = instructions(job);
+    if (instr == 0) continue;
+    const CacheStats stats = llc_.job_stats(job);
+    sum += static_cast<double>(stats.misses) / static_cast<double>(instr);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+void Platform::reset_stats() {
+  llc_.reset_stats();
+  page_cache_.reset_stats();
+  memory_.reset();
+  std::lock_guard<std::mutex> lock(instr_mutex_);
+  instructions_.clear();
+}
+
+}  // namespace graphm::sim

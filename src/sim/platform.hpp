@@ -1,0 +1,53 @@
+// Bundles the simulated hardware one execution scheme runs on: the LLC
+// simulator, the OS page-cache simulator and the memory tracker, plus per-job
+// instruction counters for the LPI metric. Each scheme (-S / -C / -M)
+// instantiates one Platform so its counters are directly comparable to the
+// paper's per-scheme measurements.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache_sim.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/memory_tracker.hpp"
+#include "sim/page_cache.hpp"
+
+namespace graphm::sim {
+
+class Platform {
+ public:
+  explicit Platform(const PlatformConfig& config = PlatformConfig{});
+
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+  CacheSim& llc() { return llc_; }
+  const CacheSim& llc() const { return llc_; }
+  PageCacheSim& page_cache() { return page_cache_; }
+  const PageCacheSim& page_cache() const { return page_cache_; }
+  MemoryTracker& memory() { return memory_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  /// "Instructions retired" proxy: the engines report one unit per processed
+  /// edge plus a small per-vertex cost; LPI = LLC misses / instructions.
+  void add_instructions(std::uint32_t job_id, std::uint64_t count);
+  [[nodiscard]] std::uint64_t instructions(std::uint32_t job_id) const;
+  [[nodiscard]] std::uint64_t total_instructions() const;
+
+  /// Average LLC-misses-per-instruction across the given jobs (Fig 3c).
+  [[nodiscard]] double average_lpi(const std::vector<std::uint32_t>& job_ids) const;
+
+  void reset_stats();
+
+ private:
+  PlatformConfig config_;
+  CacheSim llc_;
+  PageCacheSim page_cache_;
+  MemoryTracker memory_;
+  mutable std::mutex instr_mutex_;
+  std::vector<std::uint64_t> instructions_;
+};
+
+}  // namespace graphm::sim

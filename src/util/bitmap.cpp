@@ -1,0 +1,103 @@
+#include "util/bitmap.hpp"
+
+#include <bit>
+
+namespace graphm::util {
+
+namespace {
+constexpr std::size_t words_for(std::size_t size) { return (size + 63) / 64; }
+}  // namespace
+
+AtomicBitmap::AtomicBitmap(std::size_t size) : size_(size), words_(words_for(size)) {
+  clear_all();
+}
+
+AtomicBitmap::AtomicBitmap(const AtomicBitmap& other) : size_(other.size_), words_(words_for(other.size_)) {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w].store(other.words_[w].load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+}
+
+AtomicBitmap& AtomicBitmap::operator=(const AtomicBitmap& other) {
+  if (this == &other) return *this;
+  size_ = other.size_;
+  std::vector<std::atomic<std::uint64_t>> fresh(words_for(other.size_));
+  for (std::size_t w = 0; w < fresh.size(); ++w) {
+    fresh[w].store(other.words_[w].load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  words_ = std::move(fresh);
+  return *this;
+}
+
+bool AtomicBitmap::set(std::size_t i) {
+  const std::uint64_t mask = 1ULL << (i & 63);
+  const std::uint64_t old = words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+  return (old & mask) == 0;
+}
+
+bool AtomicBitmap::clear(std::size_t i) {
+  const std::uint64_t mask = 1ULL << (i & 63);
+  const std::uint64_t old = words_[i >> 6].fetch_and(~mask, std::memory_order_relaxed);
+  return (old & mask) != 0;
+}
+
+bool AtomicBitmap::get(std::size_t i) const {
+  return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1;
+}
+
+void AtomicBitmap::clear_all() {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+void AtomicBitmap::set_all() {
+  for (auto& word : words_) word.store(~0ULL, std::memory_order_relaxed);
+  // Mask off the bits beyond size_ in the last word so count() is exact.
+  const std::size_t tail = size_ & 63;
+  if (!words_.empty() && tail != 0) {
+    words_.back().store((1ULL << tail) - 1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t AtomicBitmap::count() const {
+  std::size_t total = 0;
+  for (const auto& w : words_) total += std::popcount(w.load(std::memory_order_relaxed));
+  return total;
+}
+
+bool AtomicBitmap::any() const {
+  for (const auto& w : words_) {
+    if (w.load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t AtomicBitmap::count_range(std::size_t begin, std::size_t end) const {
+  if (end > size_) end = size_;
+  std::size_t total = 0;
+  for (std::size_t i = begin; i < end;) {
+    if ((i & 63) == 0 && i + 64 <= end) {
+      total += std::popcount(words_[i >> 6].load(std::memory_order_relaxed));
+      i += 64;
+    } else {
+      total += get(i) ? 1 : 0;
+      ++i;
+    }
+  }
+  return total;
+}
+
+bool AtomicBitmap::any_in_range(std::size_t begin, std::size_t end) const {
+  if (end > size_) end = size_;
+  for (std::size_t i = begin; i < end;) {
+    if ((i & 63) == 0 && i + 64 <= end) {
+      if (words_[i >> 6].load(std::memory_order_relaxed) != 0) return true;
+      i += 64;
+    } else {
+      if (get(i)) return true;
+      ++i;
+    }
+  }
+  return false;
+}
+
+}  // namespace graphm::util

@@ -1,0 +1,66 @@
+// Fixed-size atomic bitmap used for per-job active-vertex sets and for the
+// engines' selective-scheduling masks (`should_access_shard`).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace graphm::util {
+
+/// Thread-safe bitmap over [0, size). set/get are lock-free; clear_all is not
+/// safe against concurrent set (callers quiesce between iterations, as the
+/// engines do between supersteps).
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t size);
+
+  AtomicBitmap(const AtomicBitmap& other);
+  AtomicBitmap& operator=(const AtomicBitmap& other);
+  AtomicBitmap(AtomicBitmap&&) noexcept = default;
+  AtomicBitmap& operator=(AtomicBitmap&&) noexcept = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Sets bit i; returns true iff the bit was previously clear.
+  bool set(std::size_t i);
+  /// Clears bit i; returns true iff the bit was previously set.
+  bool clear(std::size_t i);
+  [[nodiscard]] bool get(std::size_t i) const;
+
+  void clear_all();
+  void set_all();
+
+  /// Population count (not atomic w.r.t. concurrent mutation).
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool any() const;
+
+  /// Calls fn(i) for every set bit, in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w].load(std::memory_order_relaxed);
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        const std::size_t i = w * 64 + static_cast<std::size_t>(b);
+        if (i < size_) fn(i);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Number of set bits within [begin, end).
+  [[nodiscard]] std::size_t count_range(std::size_t begin, std::size_t end) const;
+
+  /// True iff any bit set within [begin, end).
+  [[nodiscard]] bool any_in_range(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace graphm::util

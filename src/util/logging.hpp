@@ -1,0 +1,43 @@
+// Minimal leveled logger for the GraphM library.
+//
+// The library is used inside tight benchmark loops, so logging is kept to a
+// single atomic level check on the fast path and formatting happens only when
+// the record is actually emitted.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace graphm::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log level. Defaults to kWarn so benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single record (thread safe, one line per call).
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+inline bool enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+}  // namespace detail
+
+}  // namespace graphm::util
+
+#define GRAPHM_LOG(level, expr)                                          \
+  do {                                                                   \
+    if (::graphm::util::detail::enabled(level)) {                        \
+      std::ostringstream oss__;                                          \
+      oss__ << expr;                                                     \
+      ::graphm::util::log_emit(level, oss__.str());                      \
+    }                                                                    \
+  } while (0)
+
+#define GRAPHM_DEBUG(expr) GRAPHM_LOG(::graphm::util::LogLevel::kDebug, expr)
+#define GRAPHM_INFO(expr) GRAPHM_LOG(::graphm::util::LogLevel::kInfo, expr)
+#define GRAPHM_WARN(expr) GRAPHM_LOG(::graphm::util::LogLevel::kWarn, expr)
+#define GRAPHM_ERROR(expr) GRAPHM_LOG(::graphm::util::LogLevel::kError, expr)

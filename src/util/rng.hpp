@@ -1,0 +1,42 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed so that
+// all datasets, job mixes and traces are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace graphm::util {
+
+/// SplitMix64 — tiny, fast, and good enough for workload generation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Draws from Exp(rate); used for Poisson-process inter-arrival times.
+inline double exponential_sample(SplitMix64& rng, double rate) {
+  // Inverse-CDF; next_double() < 1 so the log argument stays positive.
+  double u = rng.next_double();
+  if (u <= 0.0) u = 1e-12;
+  return -__builtin_log(1.0 - u) / rate;
+}
+
+}  // namespace graphm::util

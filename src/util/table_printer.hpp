@@ -1,0 +1,31 @@
+// ASCII table printer used by the bench harnesses to emit the same rows and
+// series the paper's tables/figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphm::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Renders the table to stdout.
+  void print() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphm::util

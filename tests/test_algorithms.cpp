@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "algos/bfs.hpp"
+#include "algos/factory.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/reference.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "grid/loader.hpp"
+#include "grid/stream_engine.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::algos {
+namespace {
+
+// Runs one algorithm on the grid engine and returns its result vector.
+std::vector<double> run_on_grid(const graph::EdgeList& g, const JobSpec& spec,
+                                std::uint32_t partitions) {
+  const grid::GridStore store = test::make_grid(g, partitions);
+  sim::Platform platform;
+  const grid::StreamEngine engine(store, platform);
+  auto algorithm = make_algorithm(spec);
+  grid::DefaultLoader loader(store, platform);
+  engine.run_job(0, *algorithm, loader);
+  return algorithm->result();
+}
+
+struct Case {
+  const char* name;
+  graph::EdgeList graph;
+};
+
+std::vector<Case> test_graphs() {
+  std::vector<Case> cases;
+  cases.push_back({"ring", graph::generate_ring(97)});
+  cases.push_back({"ring_chords", graph::generate_ring(64, 7)});
+  cases.push_back({"rmat_small", test::small_rmat(128, 1000, 3)});
+  cases.push_back({"rmat_mid", test::small_rmat(700, 9000, 4)});
+  cases.push_back({"er", graph::generate_erdos_renyi(300, 2000, 5)});
+  cases.push_back({"chung_lu", graph::generate_chung_lu(256, 2500, 0.7, 6)});
+  for (auto& c : cases) graph::randomize_weights(c.graph, 1.0f, 10.0f, 17);
+  return cases;
+}
+
+class AlgorithmOnGraphs : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AlgorithmOnGraphs, PageRankMatchesReference) {
+  for (const Case& c : test_graphs()) {
+    JobSpec spec;
+    spec.kind = AlgorithmKind::kPageRank;
+    spec.damping = 0.8;
+    spec.max_iterations = 4;
+    const auto got = run_on_grid(c.graph, spec, GetParam());
+    const auto expected = reference::pagerank(c.graph, 0.8, 4);
+    ASSERT_EQ(got.size(), expected.size()) << c.name;
+    for (std::size_t v = 0; v < got.size(); ++v) {
+      ASSERT_NEAR(got[v], expected[v], 1e-11) << c.name << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(AlgorithmOnGraphs, WccMatchesReferenceCapped) {
+  for (const Case& c : test_graphs()) {
+    for (std::uint32_t cap : {1u, 3u, 200u}) {
+      JobSpec spec;
+      spec.kind = AlgorithmKind::kWcc;
+      spec.max_iterations = cap;
+      const auto got = run_on_grid(c.graph, spec, GetParam());
+      const auto expected = reference::wcc_labels(c.graph, cap);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t v = 0; v < got.size(); ++v) {
+        ASSERT_DOUBLE_EQ(got[v], static_cast<double>(expected[v]))
+            << c.name << " cap=" << cap << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmOnGraphs, ConvergedWccEqualsUnionFind) {
+  for (const Case& c : test_graphs()) {
+    JobSpec spec;
+    spec.kind = AlgorithmKind::kWcc;
+    spec.max_iterations = static_cast<std::uint32_t>(c.graph.num_vertices() + 2);
+    const auto got = run_on_grid(c.graph, spec, GetParam());
+    const auto expected = reference::wcc_union_find(c.graph);
+    for (std::size_t v = 0; v < got.size(); ++v) {
+      ASSERT_DOUBLE_EQ(got[v], static_cast<double>(expected[v])) << c.name;
+    }
+  }
+}
+
+TEST_P(AlgorithmOnGraphs, BfsMatchesReference) {
+  for (const Case& c : test_graphs()) {
+    for (graph::VertexId root : {graph::VertexId{0}, c.graph.num_vertices() / 2}) {
+      JobSpec spec;
+      spec.kind = AlgorithmKind::kBfs;
+      spec.root = root;
+      const auto got = run_on_grid(c.graph, spec, GetParam());
+      const auto expected = reference::bfs_levels(c.graph, root);
+      for (std::size_t v = 0; v < got.size(); ++v) {
+        ASSERT_DOUBLE_EQ(got[v], static_cast<double>(expected[v]))
+            << c.name << " root=" << root << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmOnGraphs, SsspMatchesDijkstra) {
+  for (const Case& c : test_graphs()) {
+    JobSpec spec;
+    spec.kind = AlgorithmKind::kSssp;
+    spec.root = 1 % c.graph.num_vertices();
+    const auto got = run_on_grid(c.graph, spec, GetParam());
+    const auto expected = reference::sssp_distances(c.graph, spec.root);
+    for (std::size_t v = 0; v < got.size(); ++v) {
+      ASSERT_FLOAT_EQ(static_cast<float>(got[v]), expected[v]) << c.name << " vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, AlgorithmOnGraphs, ::testing::Values(1u, 3u, 8u));
+
+TEST(PageRank, RanksSumNearOneWithFullDamping) {
+  // With damping d, total rank = (1-d) + d * (retained mass); on a graph with
+  // no dangling vertices the sum stays exactly 1.
+  const auto g = graph::generate_ring(50);
+  JobSpec spec;
+  spec.kind = AlgorithmKind::kPageRank;
+  spec.damping = 0.85;
+  spec.max_iterations = 10;
+  const auto ranks = run_on_grid(g, spec, 4);
+  double sum = 0.0;
+  for (double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Bfs, UnreachedStayUnreached) {
+  graph::EdgeList g;
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);  // separate component
+  JobSpec spec;
+  spec.kind = AlgorithmKind::kBfs;
+  spec.root = 0;
+  const auto levels = run_on_grid(g, spec, 2);
+  EXPECT_DOUBLE_EQ(levels[1], 1.0);
+  EXPECT_DOUBLE_EQ(levels[2], static_cast<double>(Bfs::kUnreached));
+  EXPECT_DOUBLE_EQ(levels[3], static_cast<double>(Bfs::kUnreached));
+}
+
+TEST(Sssp, TakesCheaperLongerPath) {
+  graph::EdgeList g;
+  g.add_edge(0, 1, 10.0f);
+  g.add_edge(0, 2, 1.0f);
+  g.add_edge(2, 1, 2.0f);  // 0->2->1 costs 3 < direct 10
+  JobSpec spec;
+  spec.kind = AlgorithmKind::kSssp;
+  spec.root = 0;
+  const auto dist = run_on_grid(g, spec, 1);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+}
+
+TEST(Factory, RandomSpecsCycleAlgorithms) {
+  const auto s0 = random_job_spec(0, 1000, 1);
+  const auto s1 = random_job_spec(1, 1000, 1);
+  const auto s2 = random_job_spec(2, 1000, 1);
+  const auto s3 = random_job_spec(3, 1000, 1);
+  EXPECT_EQ(s0.kind, AlgorithmKind::kWcc);
+  EXPECT_EQ(s1.kind, AlgorithmKind::kPageRank);
+  EXPECT_EQ(s2.kind, AlgorithmKind::kSssp);
+  EXPECT_EQ(s3.kind, AlgorithmKind::kBfs);
+  EXPECT_GE(s1.damping, 0.1);
+  EXPECT_LE(s1.damping, 0.85);
+  EXPECT_LT(s2.root, 1000u);
+}
+
+TEST(Factory, LabelsAreDescriptive) {
+  JobSpec spec;
+  spec.kind = AlgorithmKind::kBfs;
+  spec.root = 42;
+  EXPECT_EQ(spec.label(), "BFS(root=42)");
+}
+
+}  // namespace
+}  // namespace graphm::algos

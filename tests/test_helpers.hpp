@@ -1,0 +1,47 @@
+// Shared helpers for the test suite: temporary stores built from generated
+// graphs, plus small comparison utilities.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "grid/grid_store.hpp"
+#include "shard/shard_store.hpp"
+
+namespace graphm::test {
+
+inline std::string unique_temp_path(const std::string& tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() / "graphm_tests";
+  std::filesystem::create_directories(dir);
+  return (dir / (tag + "_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+/// Preprocesses `graph` into a fresh temporary grid and opens it.
+inline grid::GridStore make_grid(const graph::EdgeList& graph, std::uint32_t partitions) {
+  const std::string path = unique_temp_path("grid");
+  grid::GridStore::preprocess(graph, partitions, path);
+  return grid::GridStore::open(path);
+}
+
+/// Preprocesses `graph` into fresh temporary shards and opens them.
+inline shard::ShardStore make_shards(const graph::EdgeList& graph, std::uint32_t shards) {
+  const std::string path = unique_temp_path("shard");
+  shard::ShardStore::preprocess(graph, shards, path);
+  return shard::ShardStore::open(path);
+}
+
+/// A small skewed test graph (deterministic).
+inline graph::EdgeList small_rmat(graph::VertexId vertices = 512,
+                                  graph::EdgeCount edges = 4096, std::uint64_t seed = 7) {
+  auto g = graph::generate_rmat(vertices, edges, seed);
+  graph::randomize_weights(g, 1.0f, 16.0f, seed * 31);
+  return g;
+}
+
+}  // namespace graphm::test

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/executor.hpp"
+#include "runtime/job_queue.hpp"
+#include "runtime/workloads.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::runtime {
+namespace {
+
+TEST(Workloads, PaperMixCyclesKinds) {
+  const auto jobs = paper_mix(8, 100, 1);
+  ASSERT_EQ(jobs.size(), 8u);
+  EXPECT_EQ(jobs[0].kind, algos::AlgorithmKind::kWcc);
+  EXPECT_EQ(jobs[1].kind, algos::AlgorithmKind::kPageRank);
+  EXPECT_EQ(jobs[2].kind, algos::AlgorithmKind::kSssp);
+  EXPECT_EQ(jobs[3].kind, algos::AlgorithmKind::kBfs);
+  EXPECT_EQ(jobs[4].kind, algos::AlgorithmKind::kWcc);
+}
+
+TEST(Workloads, RootedMixStaysWithinHops) {
+  std::vector<std::uint32_t> levels = {0, 1, 1, 2, 3, 0xFFFFFFFFu};
+  const auto jobs = rooted_mix(algos::AlgorithmKind::kBfs, 20, levels, 1, 7);
+  for (const auto& job : jobs) {
+    EXPECT_LE(levels[job.root], 1u);
+  }
+}
+
+TEST(JobQueue, PoissonArrivalsMonotoneAndScaleWithLambda) {
+  const auto sparse = poisson_arrivals(50, 2.0, 1'000'000, 3);
+  const auto dense = poisson_arrivals(50, 10.0, 1'000'000, 3);
+  EXPECT_EQ(sparse[0], 0u);
+  for (std::size_t i = 1; i < 50; ++i) EXPECT_GE(sparse[i], sparse[i - 1]);
+  EXPECT_GT(sparse.back(), dense.back()) << "larger lambda packs submissions tighter";
+}
+
+TEST(JobQueue, WeekTraceMatchesPaperStatistics) {
+  const auto trace = synthesize_week_trace(168, 42);
+  ASSERT_EQ(trace.size(), 168u);
+  double sum = 0.0;
+  std::uint32_t peak = 0;
+  for (const auto& point : trace) {
+    sum += point.concurrent_jobs;
+    peak = std::max(peak, point.concurrent_jobs);
+  }
+  const double mean = sum / 168.0;
+  EXPECT_NEAR(mean, 16.0, 2.5) << "average ~16 concurrent jobs (Figure 2)";
+  EXPECT_GT(peak, 30u) << "peak above 30 concurrent jobs (Figure 2)";
+}
+
+TEST(JobQueue, TraceToArrivalsTracksLevel) {
+  std::vector<TracePoint> trace = {{0.0, 4}, {1.0, 4}};
+  const auto arrivals = trace_to_arrivals(trace, 1.0, 1000, 100);
+  EXPECT_EQ(arrivals.size(), 8u) << "4 jobs/hour for 2 hours at duration 1h";
+  for (std::size_t i = 1; i < arrivals.size(); ++i) EXPECT_GE(arrivals[i], arrivals[i - 1]);
+}
+
+TEST(Executor, MemoryUsageOrderingAcrossSchemes) {
+  // Figure 11: -M consumes less memory than -C but more than -S.
+  const auto g = test::small_rmat(600, 9000, 8);
+  const grid::GridStore store = test::make_grid(g, 4);
+  const auto jobs = paper_mix(6, g.num_vertices(), 5);
+  ExecutorConfig config;
+
+  const auto s = run_jobs(Scheme::kSequential, store, jobs, config);
+  const auto c = run_jobs(Scheme::kConcurrent, store, jobs, config);
+  const auto m = run_jobs(Scheme::kShared, store, jobs, config);
+
+  EXPECT_LT(m.peak_graph_memory_bytes, c.peak_graph_memory_bytes)
+      << "one shared copy vs per-job copies";
+  EXPECT_GE(m.peak_memory_bytes, s.peak_memory_bytes)
+      << "-M holds all jobs' vertex data at once, -S only one";
+}
+
+TEST(Executor, SharedSchemeReducesLlcTraffic) {
+  const auto g = test::small_rmat(600, 9000, 8);
+  const grid::GridStore store = test::make_grid(g, 4);
+  const auto jobs = uniform_mix(algos::AlgorithmKind::kPageRank, 4, g.num_vertices(), 2);
+  ExecutorConfig config;
+
+  const auto c = run_jobs(Scheme::kConcurrent, store, jobs, config);
+  const auto m = run_jobs(Scheme::kShared, store, jobs, config);
+  EXPECT_LT(m.llc.bytes_swapped_in, c.llc.bytes_swapped_in)
+      << "Figure 14: -M swaps less data into the LLC than -C";
+}
+
+TEST(Executor, StatsAreInternallyConsistent) {
+  const auto g = test::small_rmat(300, 4000, 6);
+  const grid::GridStore store = test::make_grid(g, 2);
+  const auto jobs = paper_mix(3, g.num_vertices(), 1);
+  ExecutorConfig config;
+  const auto m = run_jobs(Scheme::kShared, store, jobs, config);
+
+  EXPECT_EQ(m.jobs.size(), 3u);
+  EXPECT_GT(m.makespan_wall_ns, 0u);
+  EXPECT_GT(m.compute_ns, 0u);
+  EXPECT_EQ(m.scheme, "GridGraph-M");
+  // Modeled total = (compute + DRAM + sync)/cores + disk (metrics.hpp).
+  EXPECT_EQ(m.total_time_ns(),
+            (m.compute_ns + m.mem_stall_ns + m.sync_cost_ns()) / m.modeled_cores +
+                m.io_stall_ns);
+  EXPECT_GT(m.total_time_ns(), 0u);
+  std::uint64_t compute_sum = 0;
+  for (const auto& job : m.jobs) compute_sum += job.stats.compute_ns;
+  EXPECT_EQ(compute_sum, m.compute_ns);
+  EXPECT_GT(m.sharing.partition_loads, 0u);
+}
+
+TEST(Executor, SequentialHasNoSharing) {
+  const auto g = test::small_rmat(300, 4000, 6);
+  const grid::GridStore store = test::make_grid(g, 2);
+  const auto jobs = paper_mix(2, g.num_vertices(), 1);
+  const auto s = run_jobs(Scheme::kSequential, store, jobs, {});
+  EXPECT_EQ(s.sharing.partition_loads, 0u);
+  EXPECT_EQ(s.sharing.attaches, 0u);
+}
+
+TEST(Executor, EmptyJobListIsAnEmptyRun) {
+  const auto g = test::small_rmat(100, 500, 6);
+  const grid::GridStore store = test::make_grid(g, 2);
+  const auto m = run_jobs(Scheme::kShared, store, {}, {});
+  EXPECT_EQ(m.jobs.size(), 0u);
+  EXPECT_EQ(m.makespan_wall_ns, 0u);
+}
+
+}  // namespace
+}  // namespace graphm::runtime

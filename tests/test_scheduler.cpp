@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "graphm/scheduler.hpp"
+
+namespace graphm::core {
+namespace {
+
+TEST(Priority, Formula5FavorsJobsWithFewActivePartitions) {
+  // Rule 1: a partition handled by a job with fewer active partitions gets a
+  // higher priority.
+  std::map<JobId, std::size_t> counts{{1, 1}, {2, 4}};
+  const double p_few = partition_priority({1}, counts);
+  const double p_many = partition_priority({2}, counts);
+  EXPECT_GT(p_few, p_many);
+  EXPECT_DOUBLE_EQ(p_few, 1.0);
+  EXPECT_DOUBLE_EQ(p_many, 0.25);
+}
+
+TEST(Priority, Formula5FavorsPartitionsNeededByMoreJobs) {
+  // Rule 2: the partition processed by the most jobs gets the highest
+  // priority (N(J) scales the score).
+  std::map<JobId, std::size_t> counts{{1, 2}, {2, 2}, {3, 2}};
+  const double one_job = partition_priority({1}, counts);
+  const double three_jobs = partition_priority({1, 2, 3}, counts);
+  EXPECT_DOUBLE_EQ(three_jobs, 3.0 * one_job);
+}
+
+TEST(Priority, MaxOverJobs) {
+  std::map<JobId, std::size_t> counts{{1, 8}, {2, 2}};
+  // Pri = max(1/8, 1/2) * 2 = 1.0
+  EXPECT_DOUBLE_EQ(partition_priority({1, 2}, counts), 1.0);
+}
+
+TEST(Priority, EmptyJobSetIsZero) {
+  EXPECT_DOUBLE_EQ(partition_priority({}, {}), 0.0);
+}
+
+TEST(LoadingOrder, DefaultIsAscendingPid) {
+  GlobalTable table;
+  table[3] = {1};
+  table[1] = {2};
+  table[2] = {1, 2};
+  EXPECT_EQ(loading_order(table, false), (std::vector<PartitionId>{1, 2, 3}));
+}
+
+TEST(LoadingOrder, PriorityPutsSharedPartitionFirst) {
+  // Figure 8: partition 1 is needed by both jobs; job 1 has only one active
+  // partition. Partition 1 should be loaded first under the strategy.
+  GlobalTable table;
+  table[1] = {1, 2};  // both jobs
+  table[2] = {2};
+  table[3] = {2};
+  table[4] = {2};
+  const auto order = loading_order(table, true);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(LoadingOrder, TieBreakIsPidAscending) {
+  GlobalTable table;
+  table[7] = {1};
+  table[2] = {2};
+  // Both jobs have one active partition -> equal priority; pid breaks ties.
+  const auto order = loading_order(table, true);
+  EXPECT_EQ(order, (std::vector<PartitionId>{2, 7}));
+}
+
+TEST(LoadingOrder, SkipsPartitionsWithNoJobs) {
+  GlobalTable table;
+  table[0] = {};
+  table[1] = {3};
+  EXPECT_EQ(loading_order(table, true), (std::vector<PartitionId>{1}));
+  EXPECT_EQ(loading_order(table, false), (std::vector<PartitionId>{1}));
+}
+
+TEST(LoadingOrder, NearlyDoneJobPullsItsPartitionForward) {
+  // Job 9 needs only partition 5 (it can finish its iteration and activate
+  // more partitions); job 8 needs many. Partition 5 must come first even
+  // though 0-4 have lower pids.
+  GlobalTable table;
+  for (PartitionId p = 0; p < 5; ++p) table[p] = {8};
+  table[5] = {9};
+  const auto order = loading_order(table, true);
+  EXPECT_EQ(order.front(), 5u);
+}
+
+}  // namespace
+}  // namespace graphm::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "algos/pagerank.hpp"
+#include "algos/reference.hpp"
+#include "graphm/graphm.hpp"
+#include "shard/graphchi_engine.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::shard {
+namespace {
+
+TEST(ShardStore, ShardsPartitionByDestination) {
+  const auto g = test::small_rmat(300, 2500);
+  const ShardStore store = test::make_shards(g, 4);
+  EXPECT_FALSE(store.meta().partitions_by_source);
+
+  sim::Platform platform;
+  std::vector<graph::Edge> buffer;
+  std::uint64_t total = 0;
+  const graph::VertexId per = (g.num_vertices() + 3) / 4;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    store.read_partition(s, buffer, platform, 0);
+    total += buffer.size();
+    for (const graph::Edge& e : buffer) {
+      EXPECT_EQ(std::min<std::uint32_t>(3, e.dst / per), s) << "edge in wrong shard";
+    }
+    EXPECT_TRUE(std::is_sorted(buffer.begin(), buffer.end(),
+                               [](const graph::Edge& a, const graph::Edge& b) {
+                                 return a.src < b.src;
+                               }))
+        << "GraphChi shards are sorted by source";
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(ShardStore, VertexRangeIsFullGraph) {
+  const auto g = test::small_rmat(100, 800);
+  const ShardStore store = test::make_shards(g, 4);
+  const auto [begin, end] = store.meta().vertex_range(2);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, g.num_vertices());
+}
+
+TEST(GraphChiEngine, PageRankMatchesReference) {
+  const auto g = test::small_rmat(256, 3000);
+  const ShardStore store = test::make_shards(g, 4);
+  sim::Platform platform;
+  const GraphChiEngine engine(store, platform);
+
+  algos::PageRank pr(0.85, 4);
+  auto loader = engine.make_default_loader();
+  engine.run_job(0, pr, *loader);
+
+  const auto expected = algos::reference::pagerank(g, 0.85, 4);
+  const auto got = pr.result();
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-11) << "vertex " << v;
+  }
+}
+
+TEST(GraphChiEngine, GraphMPluggedIntoShardsSharesLoads) {
+  // Table 4's GraphChi-M: the same GraphM instance drives LoadSubgraph().
+  const auto g = test::small_rmat(256, 3000);
+  const ShardStore store = test::make_shards(g, 4);
+  sim::Platform platform;
+  const GraphChiEngine engine(store, platform);
+  core::GraphM graphm(store, platform);
+  graphm.init();
+
+  algos::PageRank pr0(0.85, 3);
+  algos::PageRank pr1(0.6, 3);
+  auto l0 = graphm.make_loader(0);
+  auto l1 = graphm.make_loader(1);
+  std::thread t0([&] { engine.run_job(0, pr0, *l0); });
+  std::thread t1([&] { engine.run_job(1, pr1, *l1); });
+  t0.join();
+  t1.join();
+
+  EXPECT_EQ(graphm.controller().stats().partition_loads, 12u) << "3 iters x 4 shards";
+  EXPECT_EQ(graphm.controller().stats().attaches, 12u);
+
+  const auto expected = algos::reference::pagerank(g, 0.85, 3);
+  const auto got = pr0.result();
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v], 1e-11);
+  }
+}
+
+TEST(ShardStore, DegreesMatchEdgeList) {
+  const auto g = test::small_rmat(128, 900);
+  const ShardStore store = test::make_shards(g, 3);
+  EXPECT_EQ(store.load_out_degrees(), g.out_degrees());
+}
+
+}  // namespace
+}  // namespace graphm::shard

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graphm/graphm.hpp"
+#include "grid/stream_engine.hpp"
+#include "algos/factory.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/bfs.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::core {
+namespace {
+
+struct Fixture {
+  graph::EdgeList g = test::small_rmat(512, 6000);
+  grid::GridStore store = test::make_grid(g, 4);
+  sim::Platform platform;
+  GraphM graphm{store, platform};
+  Fixture() { graphm.init(); }
+};
+
+TEST(GraphMInit, BuildsTablesForEveryPartition) {
+  Fixture f;
+  ASSERT_EQ(f.graphm.chunk_tables().size(), 4u);
+  graph::EdgeCount total = 0;
+  for (const auto& table : f.graphm.chunk_tables()) total += table.total_edges();
+  EXPECT_EQ(total, f.g.num_edges());
+  EXPECT_GT(f.graphm.metadata_bytes(), 0u);
+  EXPECT_GT(f.graphm.chunk_bytes(), 0u);
+}
+
+TEST(GraphMInit, MetadataTrackedInMemoryTracker) {
+  Fixture f;
+  EXPECT_EQ(f.platform.memory().current(sim::MemoryCategory::kChunkTables),
+            f.graphm.metadata_bytes());
+}
+
+TEST(GraphMInit, MakeLoaderBeforeInitThrows) {
+  const auto g = test::small_rmat(64, 500);
+  const grid::GridStore store = test::make_grid(g, 2);
+  sim::Platform platform;
+  GraphM graphm(store, platform);
+  EXPECT_THROW(graphm.make_loader(0), std::logic_error);
+}
+
+TEST(SharingController, SingleJobDrainsItsNeeds) {
+  Fixture f;
+  auto loader = f.graphm.make_loader(0);
+  loader->register_iteration(0, {0, 2, 3});
+  std::vector<std::uint32_t> seen;
+  while (auto view = loader->acquire_next(0)) {
+    seen.push_back(view->pid);
+    EXPECT_GT(view->chunks.size(), 0u);
+    // Walk the chunk barrier protocol exactly as the engine does.
+    for (const auto& span : view->chunks) {
+      loader->begin_chunk(0, view->pid, span.chunk_id);
+      loader->end_chunk(0, view->pid, span.chunk_id, 0, span.edge_count, 10);
+    }
+    loader->release(0, view->pid);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 2, 3}));
+  loader->job_finished(0);
+  EXPECT_EQ(f.graphm.controller().live_jobs(), 0u);
+}
+
+TEST(SharingController, ViewsTileThePartition) {
+  Fixture f;
+  auto loader = f.graphm.make_loader(0);
+  loader->register_iteration(0, {1});
+  auto view = loader->acquire_next(0);
+  ASSERT_TRUE(view.has_value());
+  sim::Platform scratch;
+  std::vector<graph::Edge> direct;
+  f.store.read_partition(1, direct, scratch, 0);
+  graph::EdgeCount cursor = 0;
+  for (const auto& span : view->chunks) {
+    for (graph::EdgeCount i = 0; i < span.edge_count; ++i) {
+      ASSERT_LT(cursor, direct.size());
+      EXPECT_EQ(span.edges[i], direct[cursor]) << "shared view must expose the disk bytes";
+      ++cursor;
+    }
+  }
+  EXPECT_EQ(cursor, direct.size());
+  loader->release(0, 1);
+  loader->job_finished(0);
+}
+
+TEST(SharingController, TwoJobsShareOneLoad) {
+  Fixture f;
+  // Two PageRank jobs running concurrently through GraphM: every partition
+  // must be Load()ed once and Attach()ed once per additional job.
+  const grid::StreamEngine engine(f.store, f.platform);
+  algos::PageRank pr0(0.85, 3);
+  algos::PageRank pr1(0.5, 3);
+  auto l0 = f.graphm.make_loader(0);
+  auto l1 = f.graphm.make_loader(1);
+  std::thread t0([&] { engine.run_job(0, pr0, *l0); });
+  std::thread t1([&] { engine.run_job(1, pr1, *l1); });
+  t0.join();
+  t1.join();
+
+  const auto stats = f.graphm.controller().stats();
+  // 3 iterations x 4 partitions = 12 rounds; each loaded once...
+  EXPECT_EQ(stats.partition_loads, 12u);
+  // ...and attached by the second job.
+  EXPECT_EQ(stats.attaches, 12u);
+  EXPECT_GT(stats.chunk_barriers, 0u);
+}
+
+TEST(SharingController, SharedBufferHitsSameSimulatedLines) {
+  Fixture f;
+  const grid::StreamEngine engine(f.store, f.platform);
+
+  // First: one job alone.
+  {
+    algos::PageRank pr(0.85, 1);
+    auto loader = f.graphm.make_loader(0);
+    engine.run_job(0, pr, *loader);
+  }
+  const auto solo_swapped = f.platform.llc().total_stats().bytes_swapped_in;
+
+  f.platform.llc().reset();
+  // Then: two jobs sharing. The second job's accesses land on the same
+  // buffer, so total bytes swapped into the LLC should be far less than 2x.
+  {
+    algos::PageRank pr0(0.85, 1);
+    algos::PageRank pr1(0.85, 1);
+    auto l0 = f.graphm.make_loader(10);
+    auto l1 = f.graphm.make_loader(11);
+    std::thread t0([&] { engine.run_job(10, pr0, *l0); });
+    std::thread t1([&] { engine.run_job(11, pr1, *l1); });
+    t0.join();
+    t1.join();
+  }
+  const auto shared_swapped = f.platform.llc().total_stats().bytes_swapped_in;
+  EXPECT_LT(shared_swapped, solo_swapped * 2)
+      << "sharing must not double the LLC traffic the way -C does";
+}
+
+TEST(SharingController, SuspensionHappensWhenNeedsDiverge) {
+  Fixture f;
+  const grid::StreamEngine engine(f.store, f.platform);
+  // A BFS job (few active partitions) and a PageRank job (all partitions):
+  // the BFS job must be suspended while partitions it does not need are
+  // served.
+  algos::PageRank pr(0.85, 4);
+  algos::Bfs bfs(0);
+  auto l0 = f.graphm.make_loader(0);
+  auto l1 = f.graphm.make_loader(1);
+  std::thread t0([&] { engine.run_job(0, pr, *l0); });
+  std::thread t1([&] { engine.run_job(1, bfs, *l1); });
+  t0.join();
+  t1.join();
+  EXPECT_GT(f.graphm.controller().stats().suspensions, 0u);
+}
+
+TEST(SharingController, ManyJobsProduceCorrectResults) {
+  // Stress the barrier/suspend logic with 6 mixed jobs.
+  Fixture f;
+  const grid::StreamEngine engine(f.store, f.platform);
+  std::vector<std::unique_ptr<algos::StreamingAlgorithm>> algorithms;
+  std::vector<std::unique_ptr<grid::PartitionLoader>> loaders;
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    algorithms.push_back(algos::make_algorithm(
+        algos::random_job_spec(j, f.g.num_vertices(), 99)));
+    loaders.push_back(f.graphm.make_loader(j));
+  }
+  std::vector<std::thread> threads;
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    threads.emplace_back([&, j] { engine.run_job(j, *algorithms[j], *loaders[j]); });
+  }
+  for (auto& t : threads) t.join();
+  // Each result must match a solo run of the same spec.
+  for (std::uint32_t j = 0; j < 6; ++j) {
+    auto solo = algos::make_algorithm(algos::random_job_spec(j, f.g.num_vertices(), 99));
+    sim::Platform platform;
+    const grid::StreamEngine solo_engine(f.store, platform);
+    grid::DefaultLoader loader(f.store, platform);
+    solo_engine.run_job(0, *solo, loader);
+    const auto a = algorithms[j]->result();
+    const auto b = solo->result();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      EXPECT_NEAR(a[v], b[v], 1e-9) << "job " << j << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphm::core

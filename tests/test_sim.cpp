@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache_sim.hpp"
+#include "sim/memory_tracker.hpp"
+#include "sim/page_cache.hpp"
+#include "sim/platform.hpp"
+
+namespace graphm::sim {
+namespace {
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim cache(64 * 1024, 16, 64);
+  cache.access(0x1000, 0);
+  cache.access(0x1000, 0);
+  const CacheStats stats = cache.total_stats();
+  EXPECT_EQ(stats.accesses, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes_swapped_in, 64u);
+}
+
+TEST(CacheSim, RangeWalksCacheLines) {
+  CacheSim cache(64 * 1024, 16, 64);
+  cache.access_range(0, 640, 0);  // 10 lines
+  EXPECT_EQ(cache.total_stats().misses, 10u);
+  cache.access_range(0, 640, 1);  // same lines, other job: all hits
+  EXPECT_EQ(cache.total_stats().misses, 10u);
+  EXPECT_EQ(cache.job_stats(1).misses, 0u);
+}
+
+TEST(CacheSim, DistinctBuffersMissSeparately) {
+  // The -C vs -M mechanism: two jobs over private copies double the misses.
+  CacheSim cache(1024 * 1024, 16, 64);
+  cache.access_range(0x100000, 64 * 100, 0);
+  cache.access_range(0x900000, 64 * 100, 1);
+  EXPECT_EQ(cache.total_stats().misses, 200u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // 2-way, 2 sets, 64B lines: capacity 4 lines. Lines 0,2,4 map to set 0.
+  CacheSim cache(4 * 64, 2, 64);
+  cache.access(0 * 64, 0);    // miss, set0 way0
+  cache.access(2 * 64, 0);    // miss, set0 way1
+  cache.access(0 * 64, 0);    // hit (refreshes line 0)
+  cache.access(4 * 64, 0);    // miss, evicts line 2 (LRU)
+  cache.access(0 * 64, 0);    // hit
+  cache.access(2 * 64, 0);    // miss again (was evicted)
+  EXPECT_EQ(cache.total_stats().misses, 4u);
+  EXPECT_EQ(cache.total_stats().accesses, 6u);
+}
+
+TEST(CacheSim, CapacityExceededCausesRepeatMisses) {
+  CacheSim cache(64 * 64, 4, 64);  // 64 lines capacity
+  // Stream 256 lines twice: both passes miss everything (streaming >> LLC).
+  cache.access_range(0, 64 * 256, 0);
+  const auto first = cache.total_stats().misses;
+  cache.access_range(0, 64 * 256, 0);
+  const auto second = cache.total_stats().misses - first;
+  EXPECT_EQ(first, 256u);
+  EXPECT_EQ(second, 256u);
+}
+
+TEST(CacheSim, ResetClearsContents) {
+  CacheSim cache(64 * 1024, 16, 64);
+  cache.access(0, 0);
+  cache.reset();
+  EXPECT_EQ(cache.total_stats().accesses, 0u);
+  cache.access(0, 0);
+  EXPECT_EQ(cache.total_stats().misses, 1u) << "contents invalidated by reset";
+}
+
+TEST(PageCache, MissThenHit) {
+  PageCacheSim cache(1 << 20, 4096, 100e6, 0.0);
+  const auto stall1 = cache.read(1, 0, 8192, 0);
+  EXPECT_GT(stall1, 0u);
+  const auto stall2 = cache.read(1, 0, 8192, 0);
+  EXPECT_EQ(stall2, 0u);
+  const IoStats stats = cache.total_stats();
+  EXPECT_EQ(stats.read_bytes, 16384u);
+  EXPECT_EQ(stats.disk_read_bytes, 8192u);
+}
+
+TEST(PageCache, LruEvictsOldest) {
+  PageCacheSim cache(2 * 4096, 4096, 100e6, 0.0);  // 2 pages
+  cache.read(1, 0, 4096, 0);      // page 0
+  cache.read(1, 4096, 4096, 0);   // page 1
+  cache.read(1, 8192, 4096, 0);   // page 2 evicts page 0
+  EXPECT_EQ(cache.read(1, 4096, 4096, 0), 0u) << "page 1 still resident";
+  EXPECT_GT(cache.read(1, 0, 4096, 0), 0u) << "page 0 was evicted";
+}
+
+TEST(PageCache, DistinctFilesDoNotCollide) {
+  PageCacheSim cache(1 << 20, 4096, 100e6, 0.0);
+  cache.read(1, 0, 4096, 0);
+  EXPECT_GT(cache.read(2, 0, 4096, 0), 0u) << "same offset, different file misses";
+}
+
+TEST(PageCache, PerJobAttribution) {
+  PageCacheSim cache(1 << 20, 4096, 100e6, 0.0);
+  cache.read(1, 0, 4096, 3);
+  cache.read(1, 4096, 4096, 5);
+  EXPECT_EQ(cache.job_stats(3).disk_read_bytes, 4096u);
+  EXPECT_EQ(cache.job_stats(5).disk_read_bytes, 4096u);
+  EXPECT_EQ(cache.job_stats(4).disk_read_bytes, 0u);
+}
+
+TEST(PageCache, InvalidateFile) {
+  PageCacheSim cache(1 << 20, 4096, 100e6, 0.0);
+  cache.read(7, 0, 4096, 0);
+  cache.invalidate_file(7);
+  EXPECT_GT(cache.read(7, 0, 4096, 0), 0u);
+}
+
+TEST(PageCache, StallScalesWithBytes) {
+  PageCacheSim cache(64 << 20, 4096, 100.0 * 1024 * 1024, 0.0);
+  const auto small = cache.read(1, 0, 1 << 20, 0);
+  const auto big = cache.read(2, 0, 8 << 20, 0);
+  EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 8.0, 0.5);
+}
+
+TEST(MemoryTracker, PeakTracksHighWater) {
+  MemoryTracker tracker;
+  tracker.allocate(MemoryCategory::kGraphStructure, 100);
+  tracker.allocate(MemoryCategory::kJobSpecific, 50);
+  EXPECT_EQ(tracker.current_total(), 150u);
+  tracker.release(MemoryCategory::kGraphStructure, 100);
+  EXPECT_EQ(tracker.current_total(), 50u);
+  EXPECT_EQ(tracker.peak_total(), 150u);
+  EXPECT_EQ(tracker.peak(MemoryCategory::kGraphStructure), 100u);
+}
+
+TEST(MemoryTracker, TrackedAllocationRaii) {
+  MemoryTracker tracker;
+  {
+    TrackedAllocation alloc(&tracker, MemoryCategory::kChunkTables, 64);
+    EXPECT_EQ(tracker.current(MemoryCategory::kChunkTables), 64u);
+  }
+  EXPECT_EQ(tracker.current(MemoryCategory::kChunkTables), 0u);
+}
+
+TEST(MemoryTracker, TrackedAllocationMove) {
+  MemoryTracker tracker;
+  TrackedAllocation a(&tracker, MemoryCategory::kOther, 10);
+  TrackedAllocation b = std::move(a);
+  EXPECT_EQ(tracker.current(MemoryCategory::kOther), 10u);
+  b = TrackedAllocation(&tracker, MemoryCategory::kOther, 4);
+  EXPECT_EQ(tracker.current(MemoryCategory::kOther), 4u) << "old allocation released on assign";
+}
+
+TEST(Platform, LpiUsesPerJobCounters) {
+  Platform platform;
+  platform.llc().access_range(0, 64 * 10, 0);  // 10 misses for job 0
+  platform.add_instructions(0, 1000);
+  EXPECT_DOUBLE_EQ(platform.average_lpi({0}), 0.01);
+  EXPECT_DOUBLE_EQ(platform.average_lpi({1}), 0.0);
+}
+
+TEST(Platform, ResetStatsClearsEverything) {
+  Platform platform;
+  platform.llc().access(0, 0);
+  platform.page_cache().read(1, 0, 4096, 0);
+  platform.add_instructions(0, 5);
+  platform.memory().allocate(MemoryCategory::kOther, 1);
+  platform.reset_stats();
+  EXPECT_EQ(platform.llc().total_stats().accesses, 0u);
+  EXPECT_EQ(platform.page_cache().total_stats().read_bytes, 0u);
+  EXPECT_EQ(platform.total_instructions(), 0u);
+  EXPECT_EQ(platform.memory().current_total(), 0u);
+}
+
+}  // namespace
+}  // namespace graphm::sim

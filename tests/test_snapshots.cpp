@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "graphm/graphm.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::core {
+namespace {
+
+struct Fixture {
+  graph::EdgeList g = test::small_rmat(256, 3000);
+  grid::GridStore store = test::make_grid(g, 2);
+  sim::Platform platform;
+  GraphM graphm{store, platform};
+  Fixture() { graphm.init(); }
+
+  std::vector<graph::Edge> base_chunk(std::uint32_t pid, std::uint32_t chunk) {
+    // Content as an overlay-free job would see it.
+    controller().register_job(9999);
+    auto content = controller().chunk_content(9999, pid, chunk);
+    controller().job_finished(9999);
+    return content;
+  }
+  SharingController& controller() { return graphm.controller(); }
+};
+
+std::vector<graph::Edge> tweaked(std::vector<graph::Edge> edges) {
+  for (auto& e : edges) e.weight += 100.0f;
+  return edges;
+}
+
+TEST(Snapshots, MutationVisibleOnlyToOwningJob) {
+  Fixture f;
+  f.controller().register_job(1);
+  f.controller().register_job(2);
+  const auto base = f.base_chunk(0, 0);
+
+  f.controller().apply_mutation(1, 0, 0, tweaked(base));
+  EXPECT_EQ(f.controller().chunk_content(1, 0, 0), tweaked(base)) << "owner sees mutation";
+  EXPECT_EQ(f.controller().chunk_content(2, 0, 0), base) << "other jobs see shared data";
+}
+
+TEST(Snapshots, MutationReleasedWhenJobFinishes) {
+  Fixture f;
+  f.controller().register_job(1);
+  const auto base = f.base_chunk(0, 0);
+  f.controller().apply_mutation(1, 0, 0, tweaked(base));
+  EXPECT_EQ(f.controller().snapshot_chunks_live(), 1u);
+  f.controller().job_finished(1);
+  EXPECT_EQ(f.controller().snapshot_chunks_live(), 0u);
+}
+
+TEST(Snapshots, UpdateVisibleOnlyToLaterJobs) {
+  Fixture f;
+  const auto base = f.base_chunk(0, 0);
+  f.controller().register_job(1);  // submitted before the update
+  f.controller().apply_update(0, 0, tweaked(base));
+  f.controller().register_job(2);  // submitted after the update
+
+  EXPECT_EQ(f.controller().chunk_content(1, 0, 0), base)
+      << "previous jobs keep the pre-update snapshot";
+  EXPECT_EQ(f.controller().chunk_content(2, 0, 0), tweaked(base))
+      << "new jobs see the updated graph";
+}
+
+TEST(Snapshots, ChainedUpdatesResolvePerVersion) {
+  Fixture f;
+  const auto base = f.base_chunk(1, 0);
+  auto v1 = tweaked(base);
+  auto v2 = tweaked(v1);
+
+  f.controller().register_job(1);
+  f.controller().apply_update(1, 0, v1);
+  f.controller().register_job(2);
+  f.controller().apply_update(1, 0, v2);
+  f.controller().register_job(3);
+
+  EXPECT_EQ(f.controller().chunk_content(1, 1, 0), base);
+  EXPECT_EQ(f.controller().chunk_content(2, 1, 0), v1);
+  EXPECT_EQ(f.controller().chunk_content(3, 1, 0), v2);
+}
+
+TEST(Snapshots, MutationWinsOverUpdateForOwner) {
+  Fixture f;
+  const auto base = f.base_chunk(0, 0);
+  const auto updated = tweaked(base);
+  auto mutated = tweaked(updated);
+
+  f.controller().apply_update(0, 0, updated);
+  f.controller().register_job(1);
+  f.controller().apply_mutation(1, 0, 0, mutated);
+  EXPECT_EQ(f.controller().chunk_content(1, 0, 0), mutated);
+}
+
+TEST(Snapshots, OldVersionsGarbageCollected) {
+  Fixture f;
+  const auto base = f.base_chunk(0, 0);
+  f.controller().register_job(1);
+  f.controller().apply_update(0, 0, tweaked(base));          // v1 (job 1 pre-dates it)
+  f.controller().apply_update(0, 0, tweaked(tweaked(base)));  // v2
+  f.controller().register_job(2);
+  EXPECT_EQ(f.controller().snapshot_chunks_live(), 2u);
+
+  // Once job 1 finishes, v1 serves no live job (job 2 resolves to v2).
+  f.controller().job_finished(1);
+  EXPECT_EQ(f.controller().snapshot_chunks_live(), 1u);
+}
+
+TEST(Snapshots, UpdateChangingEdgeCountIsServedCorrectly) {
+  Fixture f;
+  auto base = f.base_chunk(0, 0);
+  base.push_back(graph::Edge{0, 1, 7.0f});  // update adds an edge
+  f.controller().apply_update(0, 0, base);
+  f.controller().register_job(5);
+  const auto content = f.controller().chunk_content(5, 0, 0);
+  EXPECT_EQ(content.size(), base.size());
+  EXPECT_EQ(content.back(), (graph::Edge{0, 1, 7.0f}));
+}
+
+TEST(Snapshots, SnapshotCopiesTracked) {
+  Fixture f;
+  const auto before = f.controller().stats().snapshot_copies;
+  f.controller().apply_update(0, 0, f.base_chunk(0, 0));
+  EXPECT_EQ(f.controller().stats().snapshot_copies, before + 1);
+}
+
+}  // namespace
+}  // namespace graphm::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "storage/store.hpp"
+#include "test_helpers.hpp"
+
+namespace graphm::storage {
+namespace {
+
+StoreMeta make_meta(graph::VertexId n, std::uint32_t partitions, bool by_source = true) {
+  StoreMeta meta;
+  meta.num_vertices = n;
+  meta.num_partitions = partitions;
+  meta.partitions_by_source = by_source;
+  meta.blocks_per_partition = 1;
+  meta.block_offsets.assign(partitions, 0);
+  meta.block_edges.assign(partitions, 0);
+  return meta;
+}
+
+class VertexRangeProperties
+    : public ::testing::TestWithParam<std::tuple<graph::VertexId, std::uint32_t>> {};
+
+TEST_P(VertexRangeProperties, RangesTileTheVertexSpace) {
+  const auto [n, partitions] = GetParam();
+  const StoreMeta meta = make_meta(n, partitions);
+
+  graph::VertexId cursor = 0;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const auto [begin, end] = meta.vertex_range(p);
+    EXPECT_EQ(begin, cursor) << "partition " << p;
+    EXPECT_LE(begin, end);
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, n) << "ranges must cover every vertex exactly once";
+}
+
+TEST_P(VertexRangeProperties, PartitionOfIsInverseOfVertexRange) {
+  const auto [n, partitions] = GetParam();
+  const StoreMeta meta = make_meta(n, partitions);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const std::uint32_t p = meta.partition_of(v);
+    ASSERT_LT(p, partitions);
+    const auto [begin, end] = meta.vertex_range(p);
+    ASSERT_GE(v, begin) << "vertex " << v;
+    ASSERT_LT(v, end) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VertexRangeProperties,
+                         ::testing::Values(std::tuple{100u, 4u}, std::tuple{101u, 4u},
+                                           std::tuple{7u, 8u}, std::tuple{1u, 1u},
+                                           std::tuple{64u, 64u}, std::tuple{1000u, 3u},
+                                           std::tuple{65u, 64u}));
+
+TEST(StoreMeta, DestinationPartitionedStoresSpanEverything) {
+  const StoreMeta meta = make_meta(1000, 8, /*by_source=*/false);
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const auto [begin, end] = meta.vertex_range(p);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1000u);
+  }
+}
+
+TEST(StoreMeta, PartitionBytesFollowBlockEdges) {
+  StoreMeta meta = make_meta(100, 2);
+  meta.blocks_per_partition = 2;
+  meta.block_offsets = {0, 120, 240, 360};
+  meta.block_edges = {10, 10, 5, 3};
+  EXPECT_EQ(meta.partition_edges(0), 20u);
+  EXPECT_EQ(meta.partition_edges(1), 8u);
+  EXPECT_EQ(meta.partition_bytes(0), 20 * sizeof(graph::Edge));
+  EXPECT_EQ(meta.max_partition_bytes(), 20 * sizeof(graph::Edge));
+  EXPECT_EQ(meta.partition_offset(1), 240u);
+}
+
+TEST(PartitionedStore, GridAndShardExposeTheSameEdgeMultiset) {
+  // The two formats must describe the same graph — the precondition for
+  // GraphM serving both ("one storage system for all").
+  const auto g = test::small_rmat(200, 2000);
+  const grid::GridStore grid_store = test::make_grid(g, 4);
+  const shard::ShardStore shard_store = test::make_shards(g, 4);
+
+  auto collect = [](const PartitionedStore& store) {
+    sim::Platform platform;
+    std::vector<graph::Edge> buffer;
+    std::vector<std::uint64_t> keys;
+    for (std::uint32_t p = 0; p < store.meta().num_partitions; ++p) {
+      store.read_partition(p, buffer, platform, 0);
+      for (const auto& e : buffer) {
+        keys.push_back((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(collect(grid_store), collect(shard_store));
+}
+
+}  // namespace
+}  // namespace graphm::storage

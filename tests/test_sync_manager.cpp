@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+#include "graphm/sync_manager.hpp"
+
+namespace graphm::core {
+namespace {
+
+TEST(SyncManager, PureStreamingChunkCalibratesTe) {
+  SyncManager sync;
+  // 1000 edges streamed with no active vertex in 5000 ns -> T(E) = 5 ns/edge.
+  sync.record_chunk(0, 0, 1000, 5000);
+  EXPECT_DOUBLE_EQ(sync.t_e(), 5.0);
+  // Running mean over a second sample.
+  sync.record_chunk(0, 0, 1000, 7000);
+  EXPECT_DOUBLE_EQ(sync.t_e(), 6.0);
+}
+
+TEST(SyncManager, TfRecoveredFromFormula2) {
+  SyncManager sync;
+  // Known ground truth: T(E)=5 ns/edge, T(F)=20 ns/edge.
+  constexpr double kTe = 5.0;
+  constexpr double kTf = 20.0;
+  sync.record_chunk(7, 0, 500, static_cast<std::uint64_t>(kTe * 500));  // calibrate T(E)
+
+  // Partition 1: 300 active of 1000; partition 2: 800 active of 1200.
+  sync.record_chunk(7, 300, 1000, static_cast<std::uint64_t>(kTf * 300 + kTe * 1000));
+  sync.finish_partition(7);
+  EXPECT_FALSE(sync.profiled(7)) << "needs two profiled partitions";
+  sync.record_chunk(7, 800, 1200, static_cast<std::uint64_t>(kTf * 800 + kTe * 1200));
+  sync.finish_partition(7);
+  EXPECT_TRUE(sync.profiled(7));
+  EXPECT_NEAR(sync.t_f(7), kTf, 0.5);
+}
+
+TEST(SyncManager, SolvesTwoByTwoWithoutDirectTeSample) {
+  SyncManager sync;
+  constexpr double kTe = 4.0;
+  constexpr double kTf = 30.0;
+  // Two partitions with different active ratios make Formula 2 solvable.
+  sync.record_chunk(2, 200, 1000, static_cast<std::uint64_t>(kTf * 200 + kTe * 1000));
+  sync.finish_partition(2);
+  sync.record_chunk(2, 900, 1000, static_cast<std::uint64_t>(kTf * 900 + kTe * 1000));
+  sync.finish_partition(2);
+  EXPECT_NEAR(sync.t_e(), kTe, 0.5);
+  EXPECT_NEAR(sync.t_f(2), kTf, 1.0);
+}
+
+TEST(SyncManager, SingularSystemDoesNotBlowUp) {
+  SyncManager sync;
+  // PageRank-like: all edges active in both partitions (A == B): the 2x2
+  // system is singular; T(E) must stay 0 and T(F) absorb the whole time.
+  sync.record_chunk(1, 1000, 1000, 10000);
+  sync.finish_partition(1);
+  sync.record_chunk(1, 2000, 2000, 20000);
+  sync.finish_partition(1);
+  EXPECT_DOUBLE_EQ(sync.t_e(), 0.0);
+  EXPECT_NEAR(sync.t_f(1), 10.0, 0.1);
+}
+
+TEST(SyncManager, ChunkLoadFormula3) {
+  SyncManager sync;
+  sync.record_chunk(3, 0, 100, 500);  // T(E) = 5
+  sync.record_chunk(3, 100, 200, 100 * 10 + 200 * 5);
+  sync.finish_partition(3);
+  sync.record_chunk(3, 50, 100, 50 * 10 + 100 * 5);
+  sync.finish_partition(3);
+
+  graph::EdgeList g;
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const ChunkInfo chunk = label_chunk(g.edges().data(), 3, 0);
+
+  util::AtomicBitmap active(3);
+  active.set(0);  // 2 active edges
+  // Formula 3: L = T(F) * active; Formula 4 adds T(E) * total.
+  EXPECT_NEAR(sync.chunk_load_ns(3, chunk, active), 10.0 * 2, 0.5);
+  EXPECT_NEAR(sync.first_toucher_ns(3, chunk, active), 10.0 * 2 + 5.0 * 3, 0.8);
+}
+
+TEST(SyncManager, UnknownJobIsZero) {
+  SyncManager sync;
+  EXPECT_DOUBLE_EQ(sync.t_f(42), 0.0);
+  EXPECT_FALSE(sync.profiled(42));
+  EXPECT_TRUE(sync.observations(42).empty());
+}
+
+TEST(SyncManager, EmptyPartitionNotRecorded) {
+  SyncManager sync;
+  sync.finish_partition(1);
+  EXPECT_TRUE(sync.observations(1).empty());
+}
+
+TEST(SyncManager, ObservationsAccumulateChunks) {
+  SyncManager sync;
+  sync.record_chunk(5, 10, 100, 1000);
+  sync.record_chunk(5, 20, 200, 2000);
+  sync.finish_partition(5);
+  const auto obs = sync.observations(5);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].active_edges, 30u);
+  EXPECT_EQ(obs[0].total_edges, 300u);
+  EXPECT_EQ(obs[0].elapsed_ns, 3000u);
+}
+
+}  // namespace
+}  // namespace graphm::core

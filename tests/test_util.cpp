@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/bitmap.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace graphm::util {
+namespace {
+
+TEST(Bitmap, SetGetClear) {
+  AtomicBitmap bitmap(130);
+  EXPECT_EQ(bitmap.size(), 130u);
+  EXPECT_FALSE(bitmap.get(0));
+  EXPECT_TRUE(bitmap.set(0));
+  EXPECT_FALSE(bitmap.set(0)) << "second set reports already-set";
+  EXPECT_TRUE(bitmap.get(0));
+  EXPECT_TRUE(bitmap.set(129));
+  EXPECT_EQ(bitmap.count(), 2u);
+  EXPECT_TRUE(bitmap.clear(0));
+  EXPECT_FALSE(bitmap.clear(0));
+  EXPECT_EQ(bitmap.count(), 1u);
+}
+
+TEST(Bitmap, SetAllRespectsSize) {
+  AtomicBitmap bitmap(70);
+  bitmap.set_all();
+  EXPECT_EQ(bitmap.count(), 70u);
+  bitmap.clear_all();
+  EXPECT_EQ(bitmap.count(), 0u);
+  EXPECT_FALSE(bitmap.any());
+}
+
+TEST(Bitmap, CountRangeAndAnyInRange) {
+  AtomicBitmap bitmap(256);
+  for (std::size_t i = 0; i < 256; i += 8) bitmap.set(i);
+  EXPECT_EQ(bitmap.count_range(0, 256), 32u);
+  EXPECT_EQ(bitmap.count_range(0, 8), 1u);
+  EXPECT_EQ(bitmap.count_range(1, 8), 0u);
+  EXPECT_TRUE(bitmap.any_in_range(64, 128));
+  EXPECT_FALSE(bitmap.any_in_range(65, 72));
+}
+
+TEST(Bitmap, ForEachSetVisitsInOrder) {
+  AtomicBitmap bitmap(200);
+  const std::set<std::size_t> expected = {3, 64, 65, 130, 199};
+  for (std::size_t i : expected) bitmap.set(i);
+  std::vector<std::size_t> seen;
+  bitmap.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(std::vector<std::size_t>(expected.begin(), expected.end()), seen);
+}
+
+TEST(Bitmap, ConcurrentSetCountsEveryFirstSet) {
+  AtomicBitmap bitmap(10000);
+  std::atomic<std::size_t> first_sets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 10000; ++i) {
+        if (bitmap.set(i)) first_sets.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(first_sets.load(), 10000u) << "each bit's first set observed exactly once";
+  EXPECT_EQ(bitmap.count(), 10000u);
+}
+
+TEST(Bitmap, CopySemantics) {
+  AtomicBitmap a(100);
+  a.set(42);
+  AtomicBitmap b(a);
+  EXPECT_TRUE(b.get(42));
+  b.set(43);
+  EXPECT_FALSE(a.get(43)) << "copies are independent";
+  a = b;
+  EXPECT_TRUE(a.get(43));
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoublesInRange) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatesRate) {
+  SplitMix64 rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += exponential_sample(rng, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table("demo");
+  table.set_header({"a", "longer"});
+  table.add_row({"xxxx", "1"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(timer.elapsed_ms(), 4.0);
+}
+
+TEST(Timer, ScopedAccumulator) {
+  std::uint64_t sink = 0;
+  {
+    ScopedAccumulator acc(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(sink, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace graphm::util
