@@ -88,9 +88,7 @@ int main() {
         const auto [vb, ve] = store.meta().vertex_range(pid);
         if (!active.any_in_range(vb, ve)) continue;
         store.read_partition(pid, buffer, scratch, 0);
-        for (const auto& e : buffer) {
-          if (active.get(e.src)) job->process_edge(e);
-        }
+        job->process_edge_block(buffer.data(), buffer.size(), active);
       }
       job->iteration_end();
     }

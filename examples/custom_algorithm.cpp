@@ -3,7 +3,9 @@
 // implements *degree-weighted label propagation* (a simple community
 // detection pass, the Facebook/Giraph-style workload the paper's introduction
 // cites) and runs four differently-seeded instances concurrently through one
-// shared graph.
+// shared graph. It also overrides process_edge_block — optional (the default
+// falls back to process_edge) but worth doing for any hot algorithm; see
+// docs/streaming.md for the contract.
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -50,6 +52,17 @@ class LabelPropagation final : public algos::StreamingAlgorithm {
       next_[e.dst] = labels_[e.src];
       changed_ = true;
     }
+  }
+
+  // The devirtualized hot loop: one virtual dispatch per block, one frontier
+  // word per 64 sources. algos::gated_block_loop supplies the canonical
+  // gate-and-count loop; the lambda is this algorithm's relaxation, and it
+  // must relax exactly the edges the per-edge fallback would.
+  graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                      const util::AtomicBitmap& active) override {
+    return algos::gated_block_loop(edges, n, active, [this](const graph::Edge& e) {
+      process_edge(e);
+    });
   }
 
   void iteration_end() override {

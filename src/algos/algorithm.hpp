@@ -8,9 +8,18 @@
 //   init(n, out_degrees, tracker)
 //   while (!done()):
 //     iteration_start(iter)
-//     for every streamed edge e with active_vertices().get(e.src):
-//       process_edge(e)              // may activate e.dst for next iteration
+//     for every streamed edge block [e0, e0+n):
+//       process_edge_block(e0, n, active_vertices())  // relaxes edges whose
+//                                                     // source is active
 //     iteration_end()
+//
+// process_edge_block is the hot path: engines hand the algorithm whole chunk
+// blocks and the algorithm runs a tight non-virtual inner loop (one virtual
+// dispatch per block instead of per edge, frontier words loaded 64 sources at
+// a time). The per-edge process_edge remains the semantic definition and the
+// default block implementation falls back to it. See docs/streaming.md for
+// the full contract, including the thread-safety rules parallel_safe()
+// opts into.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,26 @@
 #include "util/bitmap.hpp"
 
 namespace graphm::algos {
+
+/// The canonical gated block loop the built-in process_edge_block overrides
+/// share: one cached-frontier-word test per edge, relax the active ones,
+/// count them. `relax` is a functor taking (const graph::Edge&); with the
+/// override calling this directly the functor inlines, keeping the loop
+/// devirtualized. One definition keeps the gating/counting contract — which
+/// the equivalence tests pin against the scalar fallback — in one place.
+template <typename Relax>
+graph::EdgeCount gated_block_loop(const graph::Edge* edges, graph::EdgeCount n,
+                                  const util::AtomicBitmap& active, Relax&& relax) {
+  util::WordCache active_words(active);
+  graph::EdgeCount processed = 0;
+  for (graph::EdgeCount i = 0; i < n; ++i) {
+    const graph::Edge& e = edges[i];
+    if (!active_words.test(e.src)) continue;
+    relax(e);
+    ++processed;
+  }
+  return processed;
+}
 
 class StreamingAlgorithm {
  public:
@@ -45,6 +74,25 @@ class StreamingAlgorithm {
   /// Relaxes one edge whose source is active. Must only touch job-local
   /// state — the graph buffer may be shared with other jobs.
   virtual void process_edge(const graph::Edge& e) = 0;
+
+  /// Streams a block of `n` edges, relaxing every edge whose source bit is
+  /// set in `active`; returns the number of edges relaxed. The default
+  /// implementation gates each edge with active.get and calls process_edge —
+  /// the scalar fallback the equivalence tests pin overrides against.
+  /// Overrides must be observably identical to that fallback.
+  ///
+  /// When parallel_safe() is true, engines may invoke this concurrently from
+  /// several worker threads on disjoint blocks of the same iteration.
+  virtual graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                              const util::AtomicBitmap& active);
+
+  /// True iff concurrent process_edge_block / process_edge calls within one
+  /// iteration are safe AND leave a state independent of the interleaving
+  /// (order-independent relaxations: atomic min, idempotent writes). Engines
+  /// only fan a job's blocks across a thread pool when this holds; ordering-
+  /// sensitive algorithms (floating-point accumulation) keep the serial block
+  /// path so results stay bit-identical at any thread count.
+  [[nodiscard]] virtual bool parallel_safe() const { return false; }
 
   virtual void iteration_end() = 0;
 

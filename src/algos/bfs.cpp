@@ -19,11 +19,9 @@ void Bfs::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& /
 
 void Bfs::iteration_start(std::uint64_t /*iteration*/) { next_frontier_.clear_all(); }
 
-void Bfs::process_edge(const graph::Edge& e) {
-  if (levels_[e.dst] == kUnreached) {
-    levels_[e.dst] = current_level_ + 1;
-    next_frontier_.set(e.dst);
-  }
+graph::EdgeCount Bfs::process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                         const util::AtomicBitmap& active) {
+  return gated_block_loop(edges, n, active, [this](const graph::Edge& e) { relax(e.dst); });
 }
 
 void Bfs::iteration_end() {

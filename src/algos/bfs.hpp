@@ -4,6 +4,8 @@
 // exploits).
 #pragma once
 
+#include <atomic>
+
 #include "algos/algorithm.hpp"
 
 namespace graphm::algos {
@@ -17,7 +19,10 @@ class Bfs final : public StreamingAlgorithm {
             sim::MemoryTracker* tracker) override;
   void iteration_start(std::uint64_t iteration) override;
   [[nodiscard]] const util::AtomicBitmap& active_vertices() const override { return frontier_; }
-  void process_edge(const graph::Edge& e) override;
+  void process_edge(const graph::Edge& e) override { relax(e.dst); }
+  graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                      const util::AtomicBitmap& active) override;
+  [[nodiscard]] bool parallel_safe() const override { return true; }
   void iteration_end() override;
   [[nodiscard]] bool done() const override { return done_; }
   [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {
@@ -30,6 +35,16 @@ class Bfs final : public StreamingAlgorithm {
   static constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
 
  private:
+  /// Idempotent within an iteration (every writer stores the same level), so
+  /// concurrent block workers need no CAS — just atomic loads/stores.
+  void relax(graph::VertexId dst) {
+    std::atomic_ref<std::uint32_t> level(levels_[dst]);
+    if (level.load(std::memory_order_relaxed) == kUnreached) {
+      level.store(current_level_ + 1, std::memory_order_relaxed);
+      next_frontier_.set(dst);
+    }
+  }
+
   graph::VertexId root_;
   bool done_ = false;
   std::uint32_t current_level_ = 0;

@@ -25,6 +25,24 @@ void PageRank::iteration_start(std::uint64_t /*iteration*/) {
 
 void PageRank::process_edge(const graph::Edge& e) { next_[e.dst] += contribution_[e.src]; }
 
+graph::EdgeCount PageRank::process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                              const util::AtomicBitmap& active) {
+  const double* contribution = contribution_.data();
+  double* next = next_.data();
+  if (&active == &active_) {
+    // Our own frontier is all-set by construction (PageRank touches every
+    // vertex every iteration), so the gate is a tautology — drop it.
+    for (graph::EdgeCount i = 0; i < n; ++i) {
+      const graph::Edge& e = edges[i];
+      next[e.dst] += contribution[e.src];
+    }
+    return n;
+  }
+  return gated_block_loop(edges, n, active, [contribution, next](const graph::Edge& e) {
+    next[e.dst] += contribution[e.src];
+  });
+}
+
 void PageRank::iteration_end() {
   const double n = rank_.empty() ? 1.0 : static_cast<double>(rank_.size());
   for (std::size_t v = 0; v < rank_.size(); ++v) {

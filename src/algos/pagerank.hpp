@@ -18,6 +18,14 @@ class PageRank final : public StreamingAlgorithm {
   void iteration_start(std::uint64_t iteration) override;
   [[nodiscard]] const util::AtomicBitmap& active_vertices() const override { return active_; }
   void process_edge(const graph::Edge& e) override;
+  graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                      const util::AtomicBitmap& active) override;
+  // parallel_safe() stays false: next_[dst] += contribution_[src] is a
+  // floating-point accumulation whose result depends on summation order, so
+  // concurrent blocks would break the bit-identical determinism the engines
+  // guarantee. Engines still stream PageRank through the devirtualized block
+  // path — just on a single worker. (A deterministic parallel reduction is a
+  // ROADMAP open item.)
   void iteration_end() override;
   [[nodiscard]] bool done() const override { return iterations_done_ >= max_iterations_; }
   [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {

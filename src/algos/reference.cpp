@@ -13,6 +13,25 @@ using graph::Edge;
 using graph::EdgeList;
 using graph::VertexId;
 
+std::vector<double> run_streaming(const EdgeList& graph, StreamingAlgorithm& algorithm,
+                                  std::uint64_t max_iterations_guard) {
+  // Algorithms may keep a reference to the degree array (PageRank does), so
+  // it must outlive the whole run.
+  const std::vector<std::uint32_t> out_degrees = graph.out_degrees();
+  algorithm.init(graph.num_vertices(), out_degrees, nullptr);
+  std::uint64_t iteration = 0;
+  while (!algorithm.done() && iteration < max_iterations_guard) {
+    algorithm.iteration_start(iteration);
+    const util::AtomicBitmap& active = algorithm.active_vertices();
+    for (const Edge& e : graph.edges()) {
+      if (active.get(e.src)) algorithm.process_edge(e);
+    }
+    algorithm.iteration_end();
+    ++iteration;
+  }
+  return algorithm.result();
+}
+
 std::vector<double> pagerank(const EdgeList& graph, double damping, std::uint32_t iterations) {
   const VertexId n = graph.num_vertices();
   const auto degrees = graph.out_degrees();

@@ -5,9 +5,19 @@
 
 #include <vector>
 
+#include "algos/algorithm.hpp"
 #include "graph/edge_list.hpp"
 
 namespace graphm::algos::reference {
+
+/// Drives `algorithm` to completion over the plain edge list with the
+/// per-edge scalar protocol — no engine, no chunks, no blocks, one thread.
+/// This is the oracle the block-path equivalence tests compare every
+/// process_edge_block override (and every thread count) against. Returns the
+/// final result(); `max_iterations_guard` bounds runaway algorithms.
+std::vector<double> run_streaming(const graph::EdgeList& graph,
+                                  StreamingAlgorithm& algorithm,
+                                  std::uint64_t max_iterations_guard = 100000);
 
 /// Power iteration matching PageRank's semantics (dangling mass dropped),
 /// `iterations` full passes.

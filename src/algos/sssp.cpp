@@ -13,18 +13,31 @@ void Sssp::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& 
   } else {
     done_ = true;
   }
+  prev_distance_ = distance_;
   tracking_ = sim::TrackedAllocation(tracker, sim::MemoryCategory::kJobSpecific,
-                                     num_vertices * sizeof(float) + num_vertices / 4);
+                                     2 * num_vertices * sizeof(float) + num_vertices / 4);
 }
 
-void Sssp::iteration_start(std::uint64_t /*iteration*/) { next_frontier_.clear_all(); }
-
-void Sssp::process_edge(const graph::Edge& e) {
-  const float candidate = distance_[e.src] + e.weight;
-  if (candidate < distance_[e.dst]) {
-    distance_[e.dst] = candidate;
-    next_frontier_.set(e.dst);
+void Sssp::iteration_start(std::uint64_t /*iteration*/) {
+  next_frontier_.clear_all();
+  // Only frontier sources' previous distances are ever read (relax gates on
+  // the frontier), so refresh just those entries — O(|frontier|) instead of
+  // an O(V) copy in the sparse iterations. Dense frontiers keep the bulk
+  // copy, which is cheaper than a bit-walk.
+  const std::size_t n = distance_.size();
+  if (frontier_.count() * 4 >= n) {
+    prev_distance_ = distance_;
+    return;
   }
+  for (std::size_t v = frontier_.next_set_in_range(0, n); v < n;
+       v = frontier_.next_set_in_range(v + 1, n)) {
+    prev_distance_[v] = distance_[v];
+  }
+}
+
+graph::EdgeCount Sssp::process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                          const util::AtomicBitmap& active) {
+  return gated_block_loop(edges, n, active, [this](const graph::Edge& e) { relax(e); });
 }
 
 void Sssp::iteration_end() {

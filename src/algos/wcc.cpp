@@ -17,7 +17,7 @@ void Wcc::init(graph::VertexId num_vertices, const std::vector<std::uint32_t>& /
 }
 
 void Wcc::iteration_start(std::uint64_t /*iteration*/) {
-  changed_this_iteration_ = false;
+  changed_this_iteration_.store(false, std::memory_order_relaxed);
   next_labels_ = labels_;
 }
 
@@ -26,20 +26,44 @@ void Wcc::process_edge(const graph::Edge& e) {
   // labels so the result is independent of edge/partition streaming order.
   const graph::VertexId ls = labels_[e.src];
   const graph::VertexId ld = labels_[e.dst];
-  if (ls < next_labels_[e.dst]) {
-    next_labels_[e.dst] = ls;
-    changed_this_iteration_ = true;
+  if (ls < ld) {
+    relax_min(e.dst, ls);
+  } else if (ld < ls) {
+    relax_min(e.src, ld);
   }
-  if (ld < next_labels_[e.src]) {
-    next_labels_[e.src] = ld;
-    changed_this_iteration_ = true;
+}
+
+graph::EdgeCount Wcc::process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
+                                         const util::AtomicBitmap& active) {
+  const graph::VertexId* labels = labels_.data();
+  if (&active == &active_) {
+    // Our own active set is all-set by construction — drop the per-edge gate.
+    // The relax direction is data-random before convergence, so it is chosen
+    // with selects (cmov) behind one unequal-labels branch that converges to
+    // predictable-false.
+    for (graph::EdgeCount i = 0; i < n; ++i) {
+      const graph::Edge& e = edges[i];
+      const graph::VertexId ls = labels[e.src];
+      const graph::VertexId ld = labels[e.dst];
+      if (ls != ld) {
+        relax_min(ls < ld ? e.dst : e.src, ls < ld ? ls : ld);
+      }
+    }
+    return n;
   }
+  return gated_block_loop(edges, n, active, [this, labels](const graph::Edge& e) {
+    const graph::VertexId ls = labels[e.src];
+    const graph::VertexId ld = labels[e.dst];
+    if (ls != ld) {
+      relax_min(ls < ld ? e.dst : e.src, ls < ld ? ls : ld);
+    }
+  });
 }
 
 void Wcc::iteration_end() {
   labels_.swap(next_labels_);
   ++iterations_done_;
-  if (!changed_this_iteration_) converged_ = true;
+  if (!changed_this_iteration_.load(std::memory_order_relaxed)) converged_ = true;
 }
 
 }  // namespace graphm::algos

@@ -1,0 +1,67 @@
+#include "dist/chaos_engine.hpp"
+
+#include <algorithm>
+
+namespace graphm::dist {
+
+namespace {
+/// Aggregate-bandwidth degradation per extra concurrent full-graph stream
+/// (seek interference on spinning disks).
+constexpr double kStreamInterference = 0.35;
+}  // namespace
+
+RunEstimate run_chaos(DistScheme scheme, const std::vector<JobProfile>& profiles,
+                      const graph::EdgeList& graph, const ClusterConfig& cluster) {
+  RunEstimate estimate;
+  if (profiles.empty() || cluster.num_nodes == 0) return estimate;
+
+  const std::size_t groups = std::max<std::size_t>(1, cluster.num_groups);
+  const std::size_t m = std::max<std::size_t>(1, cluster.num_nodes / groups);
+  const double structure_bytes =
+      static_cast<double>(graph.num_edges()) * sizeof(graph::Edge);
+  const double agg_disk = static_cast<double>(m) * cluster.disk_bandwidth_bytes_per_s;
+  const double cores = static_cast<double>(m) * static_cast<double>(cluster.cores_per_node);
+  const double stream_s = structure_bytes / agg_disk;
+
+  double makespan = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto jobs = group_jobs(profiles.size(), groups, g);
+    if (jobs.empty()) continue;
+    const auto k = static_cast<double>(jobs.size());
+
+    double compute_sum = 0.0;
+    double iters_sum = 0.0;
+    double iters_max = 0.0;
+    for (const std::size_t j : jobs) {
+      const JobProfile& p = profiles[j];
+      compute_sum += static_cast<double>(p.total_active_edges) * kEdgeComputeSeconds / cores;
+      iters_sum += static_cast<double>(p.iterations());
+      iters_max = std::max(iters_max, static_cast<double>(p.iterations()));
+    }
+
+    double streams = 0.0;
+    double stream_time = 0.0;
+    switch (scheme.kind) {
+      case DistScheme::kSequential:
+        streams = iters_sum;
+        stream_time = iters_sum * stream_s;
+        break;
+      case DistScheme::kConcurrent:
+        streams = iters_sum;
+        stream_time = iters_sum * stream_s * (1.0 + kStreamInterference * (k - 1.0));
+        break;
+      case DistScheme::kShared:
+        streams = iters_max;
+        stream_time = iters_max * stream_s;
+        break;
+    }
+    makespan = std::max(makespan, stream_time + compute_sum);
+    estimate.structure_loads += streams;
+    estimate.disk_gb += streams * structure_bytes / 1e9;
+    estimate.network_gb += streams * structure_bytes / 1e9;
+  }
+  estimate.seconds = makespan;
+  return estimate;
+}
+
+}  // namespace graphm::dist

@@ -1,0 +1,25 @@
+// Simulated Chaos (out-of-core streaming over the cluster's disks) under the
+// -S/-C/-M schemes.
+//
+// Every iteration of every job streams the full edge set from the cluster's
+// disks (Chaos does no selective scheduling), so the structure traffic
+// dominates. Per group of m nodes running k jobs:
+//   stream  = SG/(m*disk_bw)                      one full-graph pass
+//   compute = total_active_edges * t_edge/(m*cores)
+//   -S: sum_j iters_j * stream + compute; streams run back to back.
+//   -C: the k concurrent streams interleave on spinning disks — aggregate
+//       bandwidth degrades by (1 + delta*(k-1)), which makes Chaos-C *slower*
+//       than Chaos-S (the paper's Table-4 inversion).
+//   -M: all jobs ride one shared stream; the graph is streamed max_j iters_j
+//       times in total.
+// Always feasible: Chaos never needs the graph resident in memory.
+#pragma once
+
+#include "dist/cluster_model.hpp"
+
+namespace graphm::dist {
+
+RunEstimate run_chaos(DistScheme scheme, const std::vector<JobProfile>& profiles,
+                      const graph::EdgeList& graph, const ClusterConfig& cluster);
+
+}  // namespace graphm::dist

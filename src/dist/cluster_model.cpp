@@ -1,0 +1,89 @@
+#include "dist/cluster_model.hpp"
+
+#include <bit>
+
+namespace graphm::dist {
+
+JobProfile profile_job(const graph::EdgeList& graph, const algos::JobSpec& spec) {
+  JobProfile profile;
+  profile.spec = spec;
+  auto algorithm = algos::make_algorithm(spec);
+  // Algorithms may keep a reference to the degree array (PageRank does).
+  const std::vector<std::uint32_t> out_degrees = graph.out_degrees();
+  algorithm->init(graph.num_vertices(), out_degrees, nullptr);
+
+  constexpr std::uint64_t kGuard = 100000;
+  std::uint64_t iteration = 0;
+  while (!algorithm->done() && iteration < kGuard) {
+    algorithm->iteration_start(iteration);
+    const util::AtomicBitmap& active = algorithm->active_vertices();
+    profile.active_vertices.push_back(active.count());
+    // The devirtualized block path: profiling a 64-job mix re-streams the
+    // whole edge list once per iteration, so it rides the same hot loop the
+    // engines use.
+    const graph::EdgeCount relaxed = algorithm->process_edge_block(
+        graph.edges().data(), graph.num_edges(), active);
+    profile.active_edges.push_back(relaxed);
+    profile.total_active_edges += relaxed;
+    algorithm->iteration_end();
+    ++iteration;
+  }
+  return profile;
+}
+
+std::vector<JobProfile> profile_jobs(const graph::EdgeList& graph,
+                                     const std::vector<algos::JobSpec>& jobs) {
+  std::vector<JobProfile> profiles;
+  profiles.reserve(jobs.size());
+  for (const auto& spec : jobs) profiles.push_back(profile_job(graph, spec));
+  return profiles;
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double replication_factor(const graph::EdgeList& graph, std::size_t num_nodes) {
+  if (num_nodes == 0 || graph.num_vertices() == 0) return 1.0;
+  const std::size_t words_per_vertex = (num_nodes + 63) / 64;
+  std::vector<std::uint64_t> replicas(
+      static_cast<std::size_t>(graph.num_vertices()) * words_per_vertex, 0);
+  for (const graph::Edge& e : graph.edges()) {
+    const std::uint64_t key = (std::uint64_t{e.src} << 32) | e.dst;
+    const std::size_t node = static_cast<std::size_t>(splitmix64(key) % num_nodes);
+    const std::uint64_t mask = 1ULL << (node & 63);
+    replicas[std::size_t{e.src} * words_per_vertex + (node >> 6)] |= mask;
+    replicas[std::size_t{e.dst} * words_per_vertex + (node >> 6)] |= mask;
+  }
+  std::uint64_t total = 0;
+  std::uint64_t touched = 0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    std::uint64_t count = 0;
+    for (std::size_t w = 0; w < words_per_vertex; ++w) {
+      count += std::popcount(replicas[std::size_t{v} * words_per_vertex + w]);
+    }
+    if (count != 0) {
+      total += count;
+      ++touched;
+    }
+  }
+  return touched == 0 ? 1.0 : static_cast<double>(total) / static_cast<double>(touched);
+}
+
+std::vector<std::size_t> group_jobs(std::size_t num_jobs, std::size_t num_groups,
+                                    std::size_t g) {
+  std::vector<std::size_t> jobs;
+  for (std::size_t j = g; j < num_jobs; j += std::max<std::size_t>(1, num_groups)) {
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace graphm::dist

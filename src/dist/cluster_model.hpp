@@ -1,0 +1,83 @@
+// Shared model for the simulated distributed systems of the paper's Table 4
+// and Figure 21 (PowerGraph and Chaos, each under the -S/-C/-M schemes).
+//
+// The cluster engines are *analytic*: a job is first profiled for real
+// against the in-memory edge list (per-iteration active vertices/edges, via
+// the same StreamingAlgorithm implementations every real engine runs), and
+// the engine then prices that profile on a modeled cluster — compute over
+// nodes*cores, replica synchronization over the aggregate network, streaming
+// over the aggregate disks. This mirrors how the paper reports the
+// distributed rows: the schemes differ in how often the *structure* moves
+// (the thing GraphM's sharing removes), which the model makes explicit via
+// RunEstimate::structure_loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/factory.hpp"
+#include "graph/edge_list.hpp"
+
+namespace graphm::dist {
+
+/// Per-iteration trace of one job, measured by running the real algorithm
+/// over the edge list (per-edge semantics, single thread).
+struct JobProfile {
+  algos::JobSpec spec;
+  std::vector<std::uint64_t> active_vertices;  // frontier size per iteration
+  std::vector<std::uint64_t> active_edges;     // edges relaxed per iteration
+  std::uint64_t total_active_edges = 0;
+
+  [[nodiscard]] std::uint64_t iterations() const { return active_edges.size(); }
+  [[nodiscard]] std::uint64_t max_iterations() const { return iterations(); }
+};
+
+JobProfile profile_job(const graph::EdgeList& graph, const algos::JobSpec& spec);
+std::vector<JobProfile> profile_jobs(const graph::EdgeList& graph,
+                                     const std::vector<algos::JobSpec>& jobs);
+
+/// PowerGraph-style vertex-cut replication factor: edges are hashed across
+/// `num_nodes` machines and the factor is the average number of machines
+/// holding a replica of a vertex (averaged over vertices with at least one
+/// edge). Deterministic; grows sublinearly with the node count and is
+/// bounded by it.
+double replication_factor(const graph::EdgeList& graph, std::size_t num_nodes);
+
+struct ClusterConfig {
+  std::size_t num_nodes = 64;
+  /// Table-4 style job grouping: jobs are assigned round-robin to groups and
+  /// each group runs on an equal slice of the nodes; the makespan is the
+  /// slowest group's.
+  std::size_t num_groups = 1;
+  std::uint64_t node_memory_bytes = 4ull << 30;
+  std::size_t cores_per_node = 8;
+  double net_bandwidth_bytes_per_s = 125.0 * 1024 * 1024;   // 1 GbE per node
+  double disk_bandwidth_bytes_per_s = 100.0 * 1024 * 1024;  // one HDD per node
+};
+
+struct DistScheme {
+  enum Kind : int { kSequential = 0, kConcurrent = 1, kShared = 2 };
+  Kind kind = kSequential;
+};
+
+struct RunEstimate {
+  double seconds = 0.0;
+  bool feasible = true;
+  /// Times the graph structure moved through the cluster (loads under
+  /// PowerGraph, full-graph streams under Chaos) — the redundancy the -M
+  /// scheme eliminates.
+  double structure_loads = 0.0;
+  double network_gb = 0.0;
+  double disk_gb = 0.0;
+};
+
+/// Modeled per-edge relaxation cost (seconds) shared by the cluster engines.
+inline constexpr double kEdgeComputeSeconds = 2e-9;
+/// Vertex value footprint used for replica synchronization (the paper's Uv).
+inline constexpr double kVertexValueBytes = 8.0;
+
+/// Jobs of group `g` under round-robin assignment.
+std::vector<std::size_t> group_jobs(std::size_t num_jobs, std::size_t num_groups,
+                                    std::size_t g);
+
+}  // namespace graphm::dist

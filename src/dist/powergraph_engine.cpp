@@ -1,0 +1,87 @@
+#include "dist/powergraph_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphm::dist {
+
+namespace {
+/// Slowdown per extra concurrent job under -C: private replicas evict each
+/// other from node caches/memory bandwidth.
+constexpr double kConcurrencyDrag = 0.08;
+}  // namespace
+
+RunEstimate run_powergraph(DistScheme scheme, const std::vector<JobProfile>& profiles,
+                           const graph::EdgeList& graph, const ClusterConfig& cluster) {
+  RunEstimate estimate;
+  if (profiles.empty() || cluster.num_nodes == 0) return estimate;
+
+  const std::size_t groups = std::max<std::size_t>(1, cluster.num_groups);
+  const std::size_t m = std::max<std::size_t>(1, cluster.num_nodes / groups);
+  const double r = replication_factor(graph, m);
+  const double structure_bytes =
+      static_cast<double>(graph.num_edges()) * sizeof(graph::Edge);
+  const double vertex_bytes = static_cast<double>(graph.num_vertices()) * kVertexValueBytes;
+  const double agg_disk = static_cast<double>(m) * cluster.disk_bandwidth_bytes_per_s;
+  const double agg_net = static_cast<double>(m) * cluster.net_bandwidth_bytes_per_s;
+  const double cores = static_cast<double>(m) * static_cast<double>(cluster.cores_per_node);
+
+  const double ingest_s = structure_bytes / agg_disk + structure_bytes / agg_net;
+  const double structure_mem_per_node = (structure_bytes + r * vertex_bytes) / m;
+  const double job_mem_per_node = r * vertex_bytes / m;
+
+  double makespan = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto jobs = group_jobs(profiles.size(), groups, g);
+    if (jobs.empty()) continue;
+    const auto k = static_cast<double>(jobs.size());
+
+    double work_sum = 0.0;
+    double comm_bytes = 0.0;
+    for (const std::size_t j : jobs) {
+      const JobProfile& p = profiles[j];
+      const double compute_s =
+          static_cast<double>(p.total_active_edges) * kEdgeComputeSeconds / cores;
+      const double job_comm_bytes =
+          static_cast<double>(p.iterations()) * r * vertex_bytes;
+      work_sum += compute_s + job_comm_bytes / agg_net;
+      comm_bytes += job_comm_bytes;
+    }
+
+    double group_s = 0.0;
+    double structures_resident = 1.0;
+    switch (scheme.kind) {
+      case DistScheme::kSequential:
+        group_s = k * ingest_s + work_sum;
+        estimate.structure_loads += k;
+        structures_resident = 1.0;
+        break;
+      case DistScheme::kConcurrent:
+        group_s = std::max(k * ingest_s,
+                           work_sum * (1.0 + kConcurrencyDrag * (k - 1.0)));
+        estimate.structure_loads += k;
+        structures_resident = k;
+        break;
+      case DistScheme::kShared:
+        group_s = ingest_s + work_sum;
+        estimate.structure_loads += 1;
+        structures_resident = 1.0;
+        break;
+    }
+    makespan = std::max(makespan, group_s);
+
+    const double mem_per_node =
+        structures_resident * structure_mem_per_node + k * job_mem_per_node;
+    if (mem_per_node > static_cast<double>(cluster.node_memory_bytes)) {
+      estimate.feasible = false;
+    }
+
+    estimate.network_gb +=
+        (estimate.structure_loads * structure_bytes + comm_bytes) / 1e9;
+    estimate.disk_gb += estimate.structure_loads * structure_bytes / 1e9;
+  }
+  estimate.seconds = makespan;
+  return estimate;
+}
+
+}  // namespace graphm::dist

@@ -1,0 +1,24 @@
+// Simulated PowerGraph (in-memory, vertex-cut) under the -S/-C/-M schemes.
+//
+// Cost model, per group of m nodes running k jobs:
+//   ingest  = SG/(m*disk_bw) + SG/(m*net_bw)      read + shuffle one structure
+//   compute = total_active_edges * t_edge/(m*cores)
+//   comm    = iterations * r(m) * |V| * Uv / (m*net_bw)   replica sync rounds
+//   -S: sum_j (ingest + compute_j + comm_j); one structure load per job.
+//   -C: jobs overlap — max(k*ingest, sum_j work_j * (1 + beta*(k-1))): loads
+//       still per job, plus a contention factor for k private structures
+//       thrashing node memory (the paper's memory-error rows come from the
+//       feasibility check, not a timing penalty).
+//   -M: one shared structure per group: ingest + sum_j work_j.
+// Feasibility: the replicated structure(s) plus per-job replicated vertex
+// data must fit node memory ("-" rows of Table 4).
+#pragma once
+
+#include "dist/cluster_model.hpp"
+
+namespace graphm::dist {
+
+RunEstimate run_powergraph(DistScheme scheme, const std::vector<JobProfile>& profiles,
+                           const graph::EdgeList& graph, const ClusterConfig& cluster);
+
+}  // namespace graphm::dist

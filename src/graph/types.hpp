@@ -22,4 +22,30 @@ struct Edge {
 };
 static_assert(sizeof(Edge) == 12, "Edge must stay 12 bytes (grid file format)");
 
+/// A maximal run of consecutive edges sharing one source within an edge
+/// stream. Run arrays are the engines' frontier skip index: streaming an
+/// edge stream is bandwidth-bound, so the win from an inactive source is not
+/// a cheaper test but never touching its edges at all — the run array (8
+/// bytes per run, sequential) is scanned instead of the 12-bytes-per-edge
+/// stream. Valid for any edge order; src-grouped streams make runs long.
+struct SourceRun {
+  VertexId src = 0;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const SourceRun&, const SourceRun&) = default;
+};
+
+/// Accounts one more edge from `src` into a run array under construction:
+/// extends the trailing run or opens a new one. The single definition of run
+/// granularity — every producer (chunk labelling, engine partition cache)
+/// must build through this so their skip indexes stay consistent.
+template <typename RunVector>
+inline void append_source_run(RunVector& runs, VertexId src) {
+  if (!runs.empty() && runs.back().src == src) {
+    ++runs.back().count;
+  } else {
+    runs.push_back({src, 1});
+  }
+}
+
 }  // namespace graphm::graph

@@ -41,7 +41,10 @@ graph::EdgeCount ChunkTable::total_edges() const {
 
 std::uint64_t ChunkTable::footprint_bytes() const {
   std::uint64_t bytes = chunks.size() * sizeof(ChunkInfo);
-  for (const ChunkInfo& chunk : chunks) bytes += chunk.entries.size() * sizeof(ChunkEntry);
+  for (const ChunkInfo& chunk : chunks) {
+    bytes += chunk.entries.size() * sizeof(ChunkEntry);
+    bytes += chunk.runs.size() * sizeof(graph::SourceRun);
+  }
   return bytes;
 }
 
@@ -107,6 +110,8 @@ ChunkInfo label_chunk_with(SourceIndex& index, const graph::Edge* edges,
     } else {
       ++info.entries[slot].out_edges;              // N+(es) += 1
     }
+    // The run index rides along at no extra passes.
+    graph::append_source_run(info.runs, src);
   }
   return info;
 }
@@ -122,17 +127,31 @@ ChunkInfo label_chunk(const graph::Edge* edges, graph::EdgeCount count,
 }
 
 ChunkTable label_partition(const graph::Edge* edges, graph::EdgeCount count,
-                           std::size_t chunk_bytes) {
+                           std::size_t chunk_bytes, util::ThreadPool* pool) {
   ChunkTable table;
   if (count == 0) return table;
   const graph::EdgeCount edges_per_chunk =
       std::max<graph::EdgeCount>(1, chunk_bytes / sizeof(graph::Edge));
-  SourceIndex scratch(std::min<std::size_t>(edges_per_chunk, count));
   // "edge_num * SG/|E| >= Sc or P_i is visited" — i.e. cut a chunk once its
-  // byte size reaches Sc, or at the end of the partition.
-  for (graph::EdgeCount begin = 0; begin < count; begin += edges_per_chunk) {
+  // byte size reaches Sc, or at the end of the partition. The cuts depend
+  // only on the byte budget, so each chunk labels independently.
+  const auto num_chunks =
+      static_cast<std::size_t>((count + edges_per_chunk - 1) / edges_per_chunk);
+  table.chunks.resize(num_chunks);
+  if (pool != nullptr && num_chunks > 1) {
+    pool->parallel_for(num_chunks, [&](std::size_t c) {
+      const graph::EdgeCount begin = static_cast<graph::EdgeCount>(c) * edges_per_chunk;
+      const graph::EdgeCount n = std::min<graph::EdgeCount>(edges_per_chunk, count - begin);
+      SourceIndex scratch(std::min<std::size_t>(n, count));
+      table.chunks[c] = label_chunk_with(scratch, edges + begin, n, begin);
+    });
+    return table;
+  }
+  SourceIndex scratch(std::min<std::size_t>(edges_per_chunk, count));
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const graph::EdgeCount begin = static_cast<graph::EdgeCount>(c) * edges_per_chunk;
     const graph::EdgeCount n = std::min<graph::EdgeCount>(edges_per_chunk, count - begin);
-    table.chunks.push_back(label_chunk_with(scratch, edges + begin, n, begin));
+    table.chunks[c] = label_chunk_with(scratch, edges + begin, n, begin);
   }
   return table;
 }

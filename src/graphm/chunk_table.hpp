@@ -15,6 +15,7 @@
 #include "graph/types.hpp"
 #include "sim/cost_model.hpp"
 #include "util/bitmap.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphm::core {
 
@@ -35,6 +36,12 @@ struct ChunkInfo {
   graph::EdgeCount edge_end = 0;
   /// c_table: one entry per distinct source, in first-appearance order.
   std::vector<ChunkEntry> entries;
+  /// Source-run skip index over the chunk's edge stream (see
+  /// graph::SourceRun): recorded for free during the labelling pass and
+  /// handed to the engine through ChunkSpan so inactive sources' edges are
+  /// never read. Re-labelled alongside entries when a snapshot replaces the
+  /// chunk's content.
+  std::vector<graph::SourceRun> runs;
 
   [[nodiscard]] graph::EdgeCount total_edges() const { return edge_end - edge_begin; }
 
@@ -53,9 +60,11 @@ struct ChunkTable {
 };
 
 /// Algorithm 1: labels one partition's edge stream into chunks of at most
-/// `chunk_bytes` (the final chunk may be smaller).
+/// `chunk_bytes` (the final chunk may be smaller). Chunk boundaries are fixed
+/// by size alone, so with `pool` the chunks are labelled in parallel — the
+/// output is identical to the serial pass.
 ChunkTable label_partition(const graph::Edge* edges, graph::EdgeCount count,
-                           std::size_t chunk_bytes);
+                           std::size_t chunk_bytes, util::ThreadPool* pool = nullptr);
 
 /// Re-labels a single chunk's (possibly mutated/updated) content in place;
 /// used when snapshots replace chunk data (Section 3.3.2: "Set_c also needs

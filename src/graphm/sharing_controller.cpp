@@ -85,6 +85,10 @@ void SharingController::advance_locked() {
   barrier_participants_ = current_unreleased_.size();
   barrier_arrived_ = 0;
   barrier_chunk_ = 0;
+  // Published for the lock-free begin/end_chunk fast path. Stable while any
+  // participant is streaming: the round cannot advance until every
+  // participant has released.
+  solo_round_.store(barrier_participants_ <= 1, std::memory_order_release);
 }
 
 std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
@@ -159,6 +163,10 @@ void SharingController::release(JobId job, PartitionId pid) {
 
 void SharingController::begin_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
   if (!options_.fine_grained_sync) return;
+  // Solo fast path: a round with one participant has nobody to step in
+  // lock-step with — skip the mutex entirely so the single job streams its
+  // chunks back to back at full block-batched speed.
+  if (solo_round_.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mutex_);
   barrier_cv_.wait(lock, [this, pid, chunk_id] {
     return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ >= chunk_id;
@@ -167,6 +175,8 @@ void SharingController::begin_chunk(JobId /*job*/, PartitionId pid, std::uint32_
 
 void SharingController::end_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
   if (!options_.fine_grained_sync) return;
+  // Solo rounds complete no barrier (and charge no modeled barrier wakeups).
+  if (solo_round_.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mutex_);
   if (static_cast<std::int64_t>(pid) != current_pid_) return;
   if (barrier_participants_ <= 1) {
@@ -222,9 +232,15 @@ grid::PartitionView SharingController::build_view_locked(JobId job, PartitionId 
     if (const OverlayPtr* overlay = resolve_overlay_locked(job, pid, c)) {
       span.edges = (*overlay)->edges.data();
       span.edge_count = (*overlay)->edges.size();
+      // Overlays are relabelled when created, so their run index matches the
+      // replaced content.
+      span.runs = (*overlay)->info.runs.data();
+      span.num_runs = static_cast<std::uint32_t>((*overlay)->info.runs.size());
     } else {
       span.edges = shared_buffer_.data() + info.edge_begin;
       span.edge_count = info.total_edges();
+      span.runs = info.runs.data();
+      span.num_runs = static_cast<std::uint32_t>(info.runs.size());
     }
     span.llc_base = reinterpret_cast<std::uint64_t>(span.edges);
     view.chunks.push_back(span);

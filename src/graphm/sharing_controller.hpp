@@ -18,6 +18,7 @@
 //    later — earlier jobs keep resolving to the older version.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -40,6 +41,9 @@ struct GraphMOptions {
   bool fine_grained_sync = true;   // chunk barrier (ablation)
   std::size_t vertex_value_bytes = sizeof(double);  // Uv of Formula 1
   std::size_t chunk_bytes_override = 0;             // 0 = Formula 1
+  /// Workers for Init()'s labelling pass (Algorithm 1). Chunk boundaries are
+  /// size-determined, so parallel labelling is bit-identical to serial.
+  std::size_t label_threads = 1;
 };
 
 /// Reserved job id for preprocessing-time I/O accounting.
@@ -139,6 +143,10 @@ class SharingController {
   std::size_t barrier_participants_ = 0;
   std::size_t barrier_arrived_ = 0;
   std::uint32_t barrier_chunk_ = 0;
+  /// True while the current round has at most one participant; read without
+  /// the mutex by begin/end_chunk (it only changes between rounds, and a
+  /// round cannot advance while one of its participants is streaming).
+  std::atomic<bool> solo_round_{true};
 
   // Snapshots: mutations keyed by (job, pid, chunk); updates keyed by
   // (pid, chunk) as a version-ascending list.

@@ -30,8 +30,11 @@ class GridStore final : public storage::PartitionedStore {
  public:
   /// Buckets `graph` into a P x P grid and writes <path>.{meta,data,deg}.
   /// Returns the conversion wall time (Table 3's GridGraph row).
+  /// `src_sort` groups each block's edges by source (stable), which is what
+  /// gives the engines long source runs; pass false only to reproduce the
+  /// seed's ungrouped layout (the stream-bench baseline).
   static std::uint64_t preprocess(const graph::EdgeList& graph, std::uint32_t num_partitions,
-                                  const std::string& path);
+                                  const std::string& path, bool src_sort = true);
 
   static GridStore open(const std::string& path);
 

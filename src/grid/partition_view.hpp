@@ -20,6 +20,13 @@ struct ChunkSpan {
   std::uint64_t llc_base = 0;
   /// Index of this chunk within the partition's chunk table (or 0).
   std::uint32_t chunk_id = 0;
+  /// Optional source-run index covering exactly [edges, edges+edge_count):
+  /// sum of counts == edge_count, runs in stream order. When present, the
+  /// engine streams active runs and skips inactive sources' edges without
+  /// reading them. Populated by loaders that have (or can cache) the index;
+  /// nullptr falls back to the plain gated block scan.
+  const graph::SourceRun* runs = nullptr;
+  std::uint32_t num_runs = 0;
 };
 
 struct PartitionView {

@@ -1,12 +1,39 @@
 #include "grid/stream_engine.hpp"
 
+#include <atomic>
+
 #include "util/timer.hpp"
 
 namespace graphm::grid {
 
 StreamEngine::StreamEngine(const storage::PartitionedStore& store, sim::Platform& platform, StreamConfig config)
     : store_(store), platform_(platform), config_(config),
-      out_degrees_(store.load_out_degrees()) {}
+      out_degrees_(store.load_out_degrees()),
+      run_cache_(store.meta().num_partitions),
+      run_cache_once_(store.meta().num_partitions) {
+  if (config_.num_stream_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_stream_threads);
+  }
+}
+
+const std::vector<graph::SourceRun>& StreamEngine::partition_runs(
+    std::uint32_t pid, const ChunkSpan& span) const {
+  // call_once per partition: concurrent jobs first touching *different*
+  // partitions build in parallel; once published the vector is immutable and
+  // reads are lock-free.
+  std::call_once(run_cache_once_[pid], [&] {
+    std::vector<graph::SourceRun>& runs = run_cache_[pid];
+    for (graph::EdgeCount i = 0; i < span.edge_count; ++i) {
+      graph::append_source_run(runs, span.edges[i].src);
+    }
+    runs.shrink_to_fit();
+    std::lock_guard<std::mutex> lock(run_cache_mutex_);
+    run_cache_bytes_ += runs.size() * sizeof(graph::SourceRun);
+    run_cache_tracking_ = sim::TrackedAllocation(
+        &platform_.memory(), sim::MemoryCategory::kChunkTables, run_cache_bytes_);
+  });
+  return run_cache_[pid];
+}
 
 std::vector<std::uint32_t> StreamEngine::active_partitions(
     const util::AtomicBitmap& active) const {
@@ -16,9 +43,103 @@ std::vector<std::uint32_t> StreamEngine::active_partitions(
   for (std::uint32_t p = 0; p < meta.num_partitions; ++p) {
     if (meta.partition_edges(p) == 0) continue;
     const auto [begin, end] = meta.vertex_range(p);
-    if (active.any_in_range(begin, end)) result.push_back(p);
+    if (active.next_set_in_range(begin, end) != end) result.push_back(p);
   }
   return result;
+}
+
+std::uint64_t StreamEngine::stream_range(algos::StreamingAlgorithm& algorithm,
+                                         const ChunkSpan& span, graph::EdgeCount begin,
+                                         graph::EdgeCount len,
+                                         const util::AtomicBitmap& active,
+                                         bool fan_out) const {
+  const graph::EdgeCount block = std::max<graph::EdgeCount>(1, config_.block_edges);
+  if (!fan_out || len <= block) {
+    std::uint64_t processed = 0;
+    for (graph::EdgeCount off = 0; off < len; off += block) {
+      const graph::EdgeCount n = std::min(block, len - off);
+      processed += algorithm.process_edge_block(span.edges + begin + off, n, active);
+    }
+    return processed;
+  }
+
+  // Fan the range's blocks across the pool. The per-block relaxed counts are
+  // reduced with an integer fetch_add — order-independent, so the total (and
+  // every simulated metric derived from it) is identical at any thread count.
+  const auto num_blocks = static_cast<std::size_t>((len + block - 1) / block);
+  std::atomic<std::uint64_t> processed{0};
+  pool_->parallel_for(num_blocks, [&](std::size_t b) {
+    const graph::EdgeCount off = static_cast<graph::EdgeCount>(b) * block;
+    const graph::EdgeCount n = std::min(block, len - off);
+    processed.fetch_add(algorithm.process_edge_block(span.edges + begin + off, n, active),
+                        std::memory_order_relaxed);
+  });
+  return processed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StreamEngine::stream_chunk(algos::StreamingAlgorithm& algorithm,
+                                         const ChunkSpan& span,
+                                         const util::AtomicBitmap& active,
+                                         bool fan_out, bool dense) const {
+  if (!config_.use_blocks) {
+    // Legacy scalar baseline: one atomic bit test + one virtual call per edge.
+    std::uint64_t processed = 0;
+    for (graph::EdgeCount i = 0; i < span.edge_count; ++i) {
+      const graph::Edge& e = span.edges[i];
+      if (active.get(e.src)) {
+        algorithm.process_edge(e);
+        ++processed;
+      }
+    }
+    return processed;
+  }
+
+  if (dense || span.runs == nullptr || span.num_runs == 0) {
+    return stream_range(algorithm, span, 0, span.edge_count, active, fan_out);
+  }
+
+  // Source-run skipping: streaming is bandwidth-bound, so the win on an
+  // inactive source is never touching its edges. Walk the 8-byte-per-entry
+  // run index (one frontier word covers up to 64 consecutive sorted sources),
+  // coalesce active runs into segments, and only those segments' edges are
+  // read. Short inactive gaps are absorbed into the surrounding segment —
+  // the in-block word test filters them far cheaper than fragmenting the
+  // stream into per-run dispatches — so skipping only kicks in for gaps long
+  // enough to pay back. The segments cover, in stream order, every edge the
+  // gated scan would relax; the per-edge gating inside process_edge_block
+  // does the rest, so results stay bit-identical.
+  constexpr graph::EdgeCount kMinSkipEdges = 24;
+  std::uint64_t processed = 0;
+  util::WordCache words(active);
+  graph::EdgeCount pos = 0;
+  graph::EdgeCount segment_begin = 0;
+  graph::EdgeCount segment_len = 0;   // segment = [segment_begin, +segment_len)
+  graph::EdgeCount gap_len = 0;       // trailing inactive edges after the segment
+  for (std::uint32_t r = 0; r < span.num_runs; ++r) {
+    const graph::SourceRun run = span.runs[r];
+    if (words.test(run.src)) {
+      if (segment_len == 0) {
+        segment_begin = pos;
+      } else if (gap_len != 0) {
+        segment_len += gap_len;  // absorb the short gap
+      }
+      gap_len = 0;
+      segment_len += run.count;
+    } else if (segment_len != 0) {
+      gap_len += run.count;
+      if (gap_len >= kMinSkipEdges) {
+        processed +=
+            stream_range(algorithm, span, segment_begin, segment_len, active, fan_out);
+        segment_len = 0;
+        gap_len = 0;
+      }
+    }
+    pos += run.count;
+  }
+  if (segment_len != 0) {
+    processed += stream_range(algorithm, span, segment_begin, segment_len, active, fan_out);
+  }
+  return processed;
 }
 
 JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorithm& algorithm,
@@ -28,6 +149,7 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
   const std::uint64_t io_before = platform_.page_cache().job_stats(job_id).virtual_io_ns;
 
   algorithm.init(store_.meta().num_vertices, out_degrees_, &platform_.memory());
+  const bool fan_out = pool_ != nullptr && config_.use_blocks && algorithm.parallel_safe();
 
   std::uint64_t iteration = 0;
   while (!algorithm.done() && iteration < config_.max_iterations_guard) {
@@ -38,26 +160,43 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
     while (auto view = loader.acquire_next(job_id)) {
       ++stats.partitions_loaded;
       const auto [values_ptr, values_bytes] = algorithm.values_span();
+      // The run walk costs ~8 bytes of index bandwidth per run and only pays
+      // when it actually skips edge reads. Dense-ish frontiers (PageRank/WCC
+      // full scans, BFS wave peaks) skip almost nothing, so anything at or
+      // above half-active streams plain blocks with the in-loop word test —
+      // the run index is for genuinely sparse iterations.
+      const graph::VertexId range =
+          view->vertex_end > view->vertex_begin ? view->vertex_end - view->vertex_begin : 0;
+      const bool dense =
+          range == 0 ||
+          2 * active.count_range(view->vertex_begin, view->vertex_end) >= range;
       const std::size_t num_chunks = view->chunks.size();
       for (std::size_t c = 0; c < num_chunks; ++c) {
-        const ChunkSpan& span = view->chunks[c];
+        ChunkSpan span = view->chunks[c];
+        // Loaders that hand out bare full-partition spans get the engine's
+        // shared run index attached — built lazily, only when a sparse
+        // frontier can actually use it.
+        if (config_.use_blocks && !dense && span.runs == nullptr && num_chunks == 1 &&
+            span.chunk_id == 0 && span.edge_count != 0 &&
+            span.edge_count == store_.meta().partition_edges(view->pid)) {
+          const auto& runs = partition_runs(view->pid, span);
+          span.runs = runs.data();
+          span.num_runs = static_cast<std::uint32_t>(runs.size());
+        }
         loader.begin_chunk(job_id, view->pid, span.chunk_id);
 
         util::Timer chunk_timer;
-        std::uint64_t active_edges = 0;
-        for (graph::EdgeCount i = 0; i < span.edge_count; ++i) {
-          const graph::Edge& e = span.edges[i];
-          if (active.get(e.src)) {
-            algorithm.process_edge(e);
-            ++active_edges;
-          }
-        }
+        const std::uint64_t active_edges =
+            stream_chunk(algorithm, span, active, fan_out, dense);
         const std::uint64_t elapsed = chunk_timer.elapsed_ns();
 
         stats.edges_streamed += span.edge_count;
         stats.edges_processed += active_edges;
         stats.compute_ns += elapsed;
 
+        // Simulated metrics are issued from this (the job's) thread in chunk
+        // order, never from pool workers, so LLC state transitions and
+        // instruction counts stay deterministic at any thread count.
         if (config_.model_llc && span.edge_count != 0) {
           // Structure data: the chunk's actual buffer address, so shared
           // buffers (-M) hit the same simulated lines while private copies
@@ -68,9 +207,11 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
           // state) touched at every chunk. Alone or under -M's lock-step this
           // set stays LLC-resident; under -C the other jobs' private streams
           // flush it between chunks — the cache-interference LPI growth of
-          // the paper's Figure 3(c).
+          // the paper's Figure 3(c). The addresses come from the platform's
+          // reserved simulated region (kernel-half, bit 63 set), which can
+          // never collide with a real buffer address.
           constexpr std::size_t kHotSetBytes = 1024;
-          platform_.llc().access_range(0x7f0000000000ULL + (std::uint64_t{job_id} << 20),
+          platform_.llc().access_range(sim::Platform::job_scratch_base(job_id),
                                        kHotSetBytes, job_id);
           if (config_.model_vertex_data && values_bytes != 0 && c == 0 &&
               store_.meta().num_vertices != 0) {

@@ -4,22 +4,48 @@
 // derives the active partitions from the algorithm's frontier (GridGraph's
 // `should_access_shard`), asks the PartitionLoader for partitions one by one
 // (that seam is where GraphM plugs in, Figure 6), streams each loaded chunk
-// through the algorithm's process_edge, and reports simulated LLC accesses,
-// instructions and timings.
+// through the algorithm's process_edge_block, and reports simulated LLC
+// accesses, instructions and timings.
+//
+// The streaming hot path is block-batched: a chunk is cut into fixed-size
+// edge blocks and each block goes through one virtual process_edge_block call
+// whose override runs a tight devirtualized loop (word-at-a-time frontier
+// tests). When the engine owns a thread pool and the algorithm declares its
+// relaxation order-independent (parallel_safe()), the blocks of a chunk fan
+// out across the pool — the paper's intra-job `#threads == #cores` axis
+// (Figure 20). All simulated metrics (instructions, LLC accesses) are issued
+// from the calling thread in canonical chunk order after each chunk's blocks
+// complete, so they are bit-identical at any thread count; see
+// docs/streaming.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 
 #include "algos/algorithm.hpp"
 #include "grid/grid_store.hpp"
 #include "grid/loader.hpp"
 #include "sim/platform.hpp"
+#include "util/thread_pool.hpp"
 
 namespace graphm::grid {
 
 struct StreamConfig {
   bool model_llc = true;          // feed buffer addresses through the LLC sim
   bool model_vertex_data = true;  // also model job-specific value accesses
+  /// false = legacy per-edge loop (one virtual call + one atomic bit test per
+  /// edge). Kept as the measurable scalar baseline and as the oracle path for
+  /// the block equivalence tests.
+  bool use_blocks = true;
+  /// Streaming workers per engine (1 = no pool). The pool is shared by every
+  /// job running on the engine; a job's blocks are only fanned out when its
+  /// algorithm is parallel_safe().
+  std::size_t num_stream_threads = 1;
+  /// Edges per process_edge_block dispatch (also the parallel work unit).
+  graph::EdgeCount block_edges = 16384;
   std::uint64_t max_iterations_guard = 100000;  // safety net against bugs
 };
 
@@ -49,12 +75,49 @@ class StreamEngine {
   [[nodiscard]] const storage::PartitionedStore& store() const { return store_; }
   [[nodiscard]] const std::vector<std::uint32_t>& out_degrees() const { return out_degrees_; }
   [[nodiscard]] sim::Platform& platform() const { return platform_; }
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+  /// Streaming workers available to one job (pool size, or 1 without a pool).
+  [[nodiscard]] std::size_t stream_threads() const {
+    return pool_ ? pool_->size() : 1;
+  }
 
  private:
+  /// Streams one chunk span through the algorithm (block-batched, optionally
+  /// pool-parallel) and returns the number of edges relaxed. `dense` reports
+  /// that every source in the partition's vertex range is active, which
+  /// bypasses the source-run skip index (nothing to skip).
+  std::uint64_t stream_chunk(algos::StreamingAlgorithm& algorithm, const ChunkSpan& span,
+                             const util::AtomicBitmap& active, bool fan_out,
+                             bool dense) const;
+
+  /// Streams [begin, begin+len) of `span` as block_edges-sized batches,
+  /// serially or across the pool.
+  std::uint64_t stream_range(algos::StreamingAlgorithm& algorithm, const ChunkSpan& span,
+                             graph::EdgeCount begin, graph::EdgeCount len,
+                             const util::AtomicBitmap& active, bool fan_out) const;
+
+  /// The shared per-partition source-run index for loaders that hand out
+  /// bare full-partition spans (DefaultLoader). Built lazily from the span's
+  /// own edges on first sparse use, then reused by every job on this engine
+  /// — immutable structure metadata, like out_degrees_. Tracked under
+  /// kChunkTables (it is skip-index metadata, the same class as GraphM's
+  /// Set_c).
+  const std::vector<graph::SourceRun>& partition_runs(std::uint32_t pid,
+                                                      const ChunkSpan& span) const;
+
   const storage::PartitionedStore& store_;
   sim::Platform& platform_;
   StreamConfig config_;
   std::vector<std::uint32_t> out_degrees_;
+  std::unique_ptr<util::ThreadPool> pool_;  // present iff num_stream_threads > 1
+
+  mutable std::mutex run_cache_mutex_;  // guards only the tracked byte counter
+  mutable std::vector<std::vector<graph::SourceRun>> run_cache_;  // sized to P, stable
+  /// One flag per partition so distinct partitions build concurrently; the
+  /// deque keeps the (immovable) flags at stable addresses.
+  mutable std::deque<std::once_flag> run_cache_once_;
+  mutable std::uint64_t run_cache_bytes_ = 0;
+  mutable sim::TrackedAllocation run_cache_tracking_;
 };
 
 }  // namespace graphm::grid

@@ -30,6 +30,18 @@ class Platform {
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
 
+  /// Simulated-only address space for per-job hot metadata (frontier words,
+  /// degree slices, engine state) that has no real backing buffer. The region
+  /// sits in the x86-64 kernel half (bit 63 set), which no user-space
+  /// allocator can ever return — so these synthetic lines can never collide
+  /// with the real `values_ptr`/chunk-buffer addresses the engines also feed
+  /// through the LLC simulator. Each job gets a disjoint 1 MiB slice.
+  static constexpr std::uint64_t kSimAddressBase = 0xFFFF'8000'0000'0000ULL;
+  static constexpr std::uint64_t kSimJobStride = 1ULL << 20;
+  [[nodiscard]] static std::uint64_t job_scratch_base(std::uint32_t job_id) {
+    return kSimAddressBase + std::uint64_t{job_id} * kSimJobStride;
+  }
+
   /// "Instructions retired" proxy: the engines report one unit per processed
   /// edge plus a small per-vertex cost; LPI = LLC misses / instructions.
   void add_instructions(std::uint32_t job_id, std::uint64_t count);

@@ -86,6 +86,24 @@ std::size_t AtomicBitmap::count_range(std::size_t begin, std::size_t end) const 
   return total;
 }
 
+std::size_t AtomicBitmap::next_set_in_range(std::size_t begin, std::size_t end) const {
+  if (end > size_) end = size_;
+  if (begin >= end) return end;
+  std::size_t w = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+  // Mask off bits below `begin` in the first word, then scan whole words.
+  std::uint64_t bits = words_[w].load(std::memory_order_relaxed) &
+                       (~0ULL << (begin & 63));
+  for (;;) {
+    if (bits != 0) {
+      const std::size_t i = (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+      return i < end ? i : end;
+    }
+    if (w == last_word) return end;
+    bits = words_[++w].load(std::memory_order_relaxed);
+  }
+}
+
 bool AtomicBitmap::any_in_range(std::size_t begin, std::size_t end) const {
   if (end > size_) end = size_;
   for (std::size_t i = begin; i < end;) {

@@ -58,9 +58,48 @@ class AtomicBitmap {
   /// True iff any bit set within [begin, end).
   [[nodiscard]] bool any_in_range(std::size_t begin, std::size_t end) const;
 
+  /// Number of 64-bit words backing the bitmap.
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  /// Raw 64-bit word `w` (bit i of the bitmap lives in word i/64, bit i%64).
+  /// The block-streaming inner loops load one word per 64 sources instead of
+  /// one atomic bit test per edge.
+  [[nodiscard]] std::uint64_t word(std::size_t w) const {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the first set bit in [begin, end), or `end` if none. Skips 64
+  /// clear bits per word load.
+  [[nodiscard]] std::size_t next_set_in_range(std::size_t begin, std::size_t end) const;
+
  private:
   std::size_t size_ = 0;
   std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+/// Caches the last-loaded word of an AtomicBitmap. The block-streaming inner
+/// loops test one source bit with a shift+mask instead of an atomic load per
+/// edge — neighbouring edges in a partition usually share a frontier word, so
+/// one load covers up to 64 sources. Snapshot semantics (a cached word may be
+/// stale) are fine for the engines: the source-side frontier is frozen while
+/// an iteration streams.
+class WordCache {
+ public:
+  explicit WordCache(const AtomicBitmap& bitmap) : bitmap_(bitmap) {}
+
+  [[nodiscard]] bool test(std::size_t i) {
+    const std::size_t w = i >> 6;
+    if (w != word_idx_) {
+      word_idx_ = w;
+      bits_ = bitmap_.word(w);
+    }
+    return (bits_ >> (i & 63)) & 1;
+  }
+
+ private:
+  const AtomicBitmap& bitmap_;
+  std::size_t word_idx_ = static_cast<std::size_t>(-1);
+  std::uint64_t bits_ = 0;
 };
 
 }  // namespace graphm::util

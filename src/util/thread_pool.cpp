@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 
 namespace graphm::util {
 
@@ -41,14 +42,34 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  const std::size_t lanes = std::min(workers_.size(), n);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([&next, n, &fn] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+
+  // Per-call completion state. Helpers hold a shared_ptr so the state stays
+  // valid even if they only start after the caller has drained every index.
+  struct Group {
+    std::atomic<std::size_t> next{0};
+    std::size_t helpers_left = 0;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto group = std::make_shared<Group>();
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  group->helpers_left = helpers;
+
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([group, n, &fn] {
+      for (std::size_t i = group->next.fetch_add(1); i < n; i = group->next.fetch_add(1)) {
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(group->mutex);
+      if (--group->helpers_left == 0) group->done.notify_all();
     });
   }
-  wait_idle();
+  // The caller works too: even with every pool worker busy elsewhere, the
+  // call makes progress and cannot deadlock.
+  for (std::size_t i = group->next.fetch_add(1); i < n; i = group->next.fetch_add(1)) fn(i);
+
+  std::unique_lock<std::mutex> lock(group->mutex);
+  group->done.wait(lock, [&group] { return group->helpers_left == 0; });
 }
 
 void ThreadPool::worker_loop() {

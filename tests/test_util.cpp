@@ -71,6 +71,57 @@ TEST(Bitmap, ConcurrentSetCountsEveryFirstSet) {
   EXPECT_EQ(bitmap.count(), 10000u);
 }
 
+TEST(Bitmap, NextSetInRange) {
+  AtomicBitmap bitmap(300);
+  bitmap.set(5);
+  bitmap.set(64);
+  bitmap.set(250);
+  EXPECT_EQ(bitmap.next_set_in_range(0, 300), 5u);
+  EXPECT_EQ(bitmap.next_set_in_range(5, 300), 5u) << "begin itself counts";
+  EXPECT_EQ(bitmap.next_set_in_range(6, 300), 64u);
+  EXPECT_EQ(bitmap.next_set_in_range(65, 250), 250u) << "none in range returns end";
+  EXPECT_EQ(bitmap.next_set_in_range(65, 300), 250u);
+  EXPECT_EQ(bitmap.next_set_in_range(251, 300), 300u);
+  EXPECT_EQ(bitmap.next_set_in_range(100, 100), 100u) << "empty range";
+  EXPECT_EQ(bitmap.next_set_in_range(250, 1000), 250u) << "end clamps to size";
+}
+
+TEST(Bitmap, NextSetInRangeAgreesWithLinearScan) {
+  AtomicBitmap bitmap(517);
+  for (std::size_t i = 0; i < 517; i += 13) bitmap.set(i);
+  for (std::size_t begin = 0; begin < 517; begin += 7) {
+    std::size_t expected = 517;
+    for (std::size_t i = begin; i < 517; ++i) {
+      if (bitmap.get(i)) {
+        expected = i;
+        break;
+      }
+    }
+    EXPECT_EQ(bitmap.next_set_in_range(begin, 517), expected) << "begin=" << begin;
+  }
+}
+
+TEST(Bitmap, WordExposesRawBits) {
+  AtomicBitmap bitmap(130);
+  bitmap.set(0);
+  bitmap.set(63);
+  bitmap.set(64);
+  bitmap.set(129);
+  ASSERT_EQ(bitmap.num_words(), 3u);
+  EXPECT_EQ(bitmap.word(0), (1ULL << 63) | 1ULL);
+  EXPECT_EQ(bitmap.word(1), 1ULL);
+  EXPECT_EQ(bitmap.word(2), 1ULL << (129 - 128));
+}
+
+TEST(Bitmap, WordCacheMatchesGet) {
+  AtomicBitmap bitmap(1000);
+  for (std::size_t i = 0; i < 1000; i += 3) bitmap.set(i);
+  WordCache cache(bitmap);
+  // Mixed strides so the cache both hits and reloads.
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(cache.test(i), bitmap.get(i));
+  for (std::size_t i = 999; i-- > 0;) EXPECT_EQ(cache.test(i), bitmap.get(i));
+}
+
 TEST(Bitmap, CopySemantics) {
   AtomicBitmap a(100);
   a.set(42);
@@ -132,6 +183,25 @@ TEST(ThreadPool, ParallelForCoversRange) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(64);
   pool.parallel_for(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreIndependent) {
+  // Several jobs share one engine pool: each parallel_for call must complete
+  // exactly its own indices and return without waiting for the others' work.
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kCallers * kN);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(kN, [&, c](std::size_t i) {
+        hits[static_cast<std::size_t>(c) * kN + i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
