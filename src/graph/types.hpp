@@ -25,27 +25,48 @@ static_assert(sizeof(Edge) == 12, "Edge must stay 12 bytes (grid file format)");
 /// A maximal run of consecutive edges sharing one source within an edge
 /// stream. Run arrays are the engines' frontier skip index: streaming an
 /// edge stream is bandwidth-bound, so the win from an inactive source is not
-/// a cheaper test but never touching its edges at all — the run array (8
+/// a cheaper test but never touching its edges at all — the run array (12
 /// bytes per run, sequential) is scanned instead of the 12-bytes-per-edge
-/// stream. Valid for any edge order; src-grouped streams make runs long.
+/// stream. `begin` is the run's first edge offset within the indexed span,
+/// so a frontier jump (AtomicBitmap::next_set_in_range + binary search over
+/// ascending-src runs) lands directly on the right edge range without
+/// re-walking the skipped runs' counts. Valid for any edge order (begin is
+/// always the stream position); src-grouped streams make runs long and, when
+/// fully sorted, enable the jump path.
 struct SourceRun {
   VertexId src = 0;
+  std::uint32_t begin = 0;  // first edge of the run within the indexed span
   std::uint32_t count = 0;
 
   friend bool operator==(const SourceRun&, const SourceRun&) = default;
 };
 
 /// Accounts one more edge from `src` into a run array under construction:
-/// extends the trailing run or opens a new one. The single definition of run
-/// granularity — every producer (chunk labelling, engine partition cache)
-/// must build through this so their skip indexes stay consistent.
+/// extends the trailing run or opens a new one (begin = edges seen so far).
+/// The single definition of run granularity — every producer (chunk
+/// labelling, engine partition cache) must build through this so their skip
+/// indexes stay consistent. Spans larger than 4G edges would overflow
+/// `begin`; every indexed span in the repo (chunk or partition) is far
+/// smaller.
 template <typename RunVector>
 inline void append_source_run(RunVector& runs, VertexId src) {
   if (!runs.empty() && runs.back().src == src) {
     ++runs.back().count;
   } else {
-    runs.push_back({src, 1});
+    const std::uint32_t begin =
+        runs.empty() ? 0 : runs.back().begin + runs.back().count;
+    runs.push_back({src, begin, 1});
   }
+}
+
+/// True iff `runs` is strictly ascending by source — the precondition for the
+/// engines' binary-search frontier jump. One pass at index-build time.
+template <typename RunVector>
+[[nodiscard]] inline bool source_runs_sorted(const RunVector& runs) {
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].src <= runs[i - 1].src) return false;
+  }
+  return true;
 }
 
 }  // namespace graphm::graph

@@ -113,6 +113,7 @@ ChunkInfo label_chunk_with(SourceIndex& index, const graph::Edge* edges,
     // The run index rides along at no extra passes.
     graph::append_source_run(info.runs, src);
   }
+  info.runs_sorted = graph::source_runs_sorted(info.runs);
   return info;
 }
 

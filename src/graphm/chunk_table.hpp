@@ -42,6 +42,10 @@ struct ChunkInfo {
   /// never read. Re-labelled alongside entries when a snapshot replaces the
   /// chunk's content.
   std::vector<graph::SourceRun> runs;
+  /// True iff `runs` ascends strictly by source (src-sorted chunk content),
+  /// which lets sparse frontiers binary-search the run index instead of
+  /// scanning it. Computed once at labelling time.
+  bool runs_sorted = false;
 
   [[nodiscard]] graph::EdgeCount total_edges() const { return edge_end - edge_begin; }
 

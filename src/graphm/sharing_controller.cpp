@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.hpp"
 
 namespace graphm::core {
+
+// GRAPHM_TRACE_SHARING=1 streams every protocol transition (register /
+// advance / load / attach / suspend / barrier / detach) to stderr — the tool
+// that pinpoints lockstep bugs like a former round member re-attaching
+// mid-round. One cached env lookup; disabled it costs a branch.
+namespace {
+bool sharing_trace_enabled() {
+  static const bool enabled = std::getenv("GRAPHM_TRACE_SHARING") != nullptr;
+  return enabled;
+}
+}  // namespace
+
+#define SC_TRACE(...)                                              \
+  do {                                                             \
+    if (sharing_trace_enabled()) {                                 \
+      std::fprintf(stderr, __VA_ARGS__);                           \
+      std::fflush(stderr);                                         \
+    }                                                              \
+  } while (0)
 
 SharingController::SharingController(const storage::PartitionedStore& store, sim::Platform& platform,
                                      const std::vector<ChunkTable>* chunk_tables,
@@ -14,18 +35,45 @@ SharingController::SharingController(const storage::PartitionedStore& store, sim
 
 void SharingController::register_job(JobId job) {
   std::lock_guard<std::mutex> lock(mutex_);
-  JobState& state = jobs_[job];
-  state.version = version_counter_;
-  state.finished = false;
+  jobs_[job].version = version_counter_;
+}
+
+void SharingController::detach_from_round_locked(JobId job) {
+  // Mid-round detach: the job leaves a round it was assigned to (deadline
+  // cancellation, early termination) without stalling the remaining
+  // participants. Barrier bookkeeping shrinks with it, and if the job was the
+  // last unreleased participant the round completes on its behalf.
+  if (current_pid_ < 0) return;
+  const bool was_assigned = current_unacquired_.erase(job) != 0;
+  const bool was_unreleased = current_unreleased_.erase(job) != 0;
+  if (barrier_members_.erase(job) != 0) {
+    if (barrier_participants_ > 0) --barrier_participants_;
+    if (barrier_participants_ <= 1) {
+      // The survivors have nobody left to step in lock-step with.
+      solo_round_.store(true, std::memory_order_release);
+    }
+    if (barrier_participants_ > 0 && barrier_arrived_ >= barrier_participants_) {
+      // Everyone still in the round had already arrived: the departing job
+      // was the one the barrier was waiting for. Complete it.
+      barrier_arrived_ = 0;
+      ++barrier_chunk_;
+      ++stats_.chunk_barriers;
+    }
+  }
+  if (was_assigned || was_unreleased) ++stats_.mid_round_detaches;
+  if (was_unreleased && current_unreleased_.empty()) {
+    buffer_tracking_.release_now();
+    buffer_loaded_ = false;
+    current_pid_ = -1;
+    advance_locked();
+  }
+  barrier_cv_.notify_all();
 }
 
 void SharingController::job_finished(JobId job) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = jobs_.find(job);
-  if (it != jobs_.end()) {
-    it->second.finished = true;
-    it->second.needs.clear();
-  }
+  SC_TRACE("[sc] job_finished job=%u\n", job);
+  detach_from_round_locked(job);
   // Drop the job's private mutation copies ("the copied chunks will be
   // released when the corresponding job is finished").
   for (auto m = mutations_.begin(); m != mutations_.end();) {
@@ -35,12 +83,18 @@ void SharingController::job_finished(JobId job) {
       ++m;
     }
   }
+  // Erase rather than flag: a long-lived service routes an unbounded job
+  // stream through one controller, and every round assembly walks jobs_
+  // under the mutex — finished entries must not accumulate. (Snapshot GC
+  // below only consults live jobs, so erasure is equivalent to the flag.)
+  jobs_.erase(job);
   gc_updates_locked();
   round_cv_.notify_all();
 }
 
 void SharingController::register_iteration(JobId job, const std::vector<PartitionId>& partitions) {
   std::lock_guard<std::mutex> lock(mutex_);
+  SC_TRACE("[sc] reg_iter job=%u n=%zu\n", job, partitions.size());
   JobState& state = jobs_[job];
   state.needs = std::set<PartitionId>(partitions.begin(), partitions.end());
   round_cv_.notify_all();
@@ -53,7 +107,7 @@ bool SharingController::should_defer_locked() const {
   // round waits — this is what keeps concurrent jobs traversing the graph
   // along the same path instead of drifting apart.
   for (const auto& [job, state] : jobs_) {
-    if (!state.finished && state.needs.empty()) return true;
+    if (state.needs.empty()) return true;
   }
   return false;
 }
@@ -64,7 +118,6 @@ void SharingController::advance_locked() {
   // Assemble the global table from every live job's outstanding needs.
   GlobalTable table;
   for (const auto& [job, state] : jobs_) {
-    if (state.finished) continue;
     for (const PartitionId pid : state.needs) table[pid].insert(job);
   }
   if (table.empty()) {
@@ -72,13 +125,16 @@ void SharingController::advance_locked() {
   }
   const std::vector<PartitionId> order = loading_order(table, options_.use_scheduling);
   const PartitionId pid = order.front();
+  SC_TRACE("[sc] advance pid=%u participants=%zu\n", pid, table.at(pid).size());
 
   current_pid_ = pid;
   current_unacquired_.clear();
   current_unreleased_.clear();
+  barrier_members_.clear();
   for (const JobId job : table.at(pid)) {
     current_unacquired_.insert(job);
     current_unreleased_.insert(job);
+    barrier_members_.insert(job);
   }
   buffer_loaded_ = false;
   buffer_loading_ = false;
@@ -106,6 +162,27 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       // Deferred: another live job is at its iteration boundary.
     } else if (current_unacquired_.count(job) != 0) {
       break;
+    } else if (options_.allow_mid_round_attach && buffer_loaded_ &&
+               state.needs.count(static_cast<PartitionId>(current_pid_)) != 0 &&
+               current_unreleased_.count(job) == 0) {
+      // Late attach (service mode): the partition this job needs is already
+      // resident, so serve it from the shared buffer mid-round. The job pins
+      // the buffer (current_unreleased_) but stays outside the chunk barrier
+      // — it free-runs and the lock-step group never waits for it.
+      //
+      // The attacher may be a *former member* of this very round (it
+      // released, started its next iteration, and needs the partition
+      // again). Its member pass is over — a member can only release after
+      // the round's final chunk barrier completed, so no member is waiting
+      // on it — and its re-run must not arrive at the barrier again: strike
+      // it from the roster so begin/end_chunk see a non-member.
+      const auto pid = static_cast<PartitionId>(current_pid_);
+      barrier_members_.erase(job);
+      current_unreleased_.insert(job);
+      ++stats_.attaches;
+      ++stats_.mid_round_attaches;
+      SC_TRACE("[sc] mid_attach job=%u pid=%u\n", job, pid);
+      return build_view_locked(job, pid);
     }
     // The job does not participate in the current partition (or has already
     // acquired it, or the round is deferred): suspend until state changes.
@@ -114,6 +191,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       suspended = true;
       ++stats_.suspensions;
     }
+    SC_TRACE("[sc] suspend job=%u cur=%lld needs=%zu\n", job, (long long)current_pid_, state.needs.size());
     round_cv_.wait(lock);
   }
 
@@ -133,6 +211,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       buffer_loaded_ = true;
       buffer_loading_ = false;
       ++stats_.partition_loads;
+      SC_TRACE("[sc] load job=%u pid=%u\n", job, pid);
       round_cv_.notify_all();
     } else {
       round_cv_.wait(lock, [this] { return buffer_loaded_; });
@@ -141,12 +220,14 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
   } else {
     ++stats_.attaches;
   }
+  SC_TRACE("[sc] acquire job=%u pid=%u\n", job, pid);
 
   return build_view_locked(job, pid);
 }
 
 void SharingController::release(JobId job, PartitionId pid) {
   std::lock_guard<std::mutex> lock(mutex_);
+  SC_TRACE("[sc] release job=%u pid=%u unrel_left=%zu\n", job, pid, current_unreleased_.size() - (current_unreleased_.count(job) ? 1 : 0));
   current_unreleased_.erase(job);
   auto it = jobs_.find(job);
   if (it != jobs_.end()) it->second.needs.erase(pid);
@@ -161,29 +242,35 @@ void SharingController::release(JobId job, PartitionId pid) {
   barrier_cv_.notify_all();
 }
 
-void SharingController::begin_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
+void SharingController::begin_chunk(JobId job, PartitionId pid, std::uint32_t chunk_id) {
   if (!options_.fine_grained_sync) return;
   // Solo fast path: a round with one participant has nobody to step in
   // lock-step with — skip the mutex entirely so the single job streams its
   // chunks back to back at full block-batched speed.
   if (solo_round_.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mutex_);
+  // Late mid-round attachers are not barrier members: they free-run over the
+  // resident buffer instead of pacing (or corrupting) the lock-step group.
+  if (barrier_members_.count(job) == 0) return;
+  SC_TRACE("[sc] begin_chunk_wait job=%u pid=%u c=%u bc=%u\n", job, pid, chunk_id, barrier_chunk_);
   barrier_cv_.wait(lock, [this, pid, chunk_id] {
     return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ >= chunk_id;
   });
 }
 
-void SharingController::end_chunk(JobId /*job*/, PartitionId pid, std::uint32_t chunk_id) {
+void SharingController::end_chunk(JobId job, PartitionId pid, std::uint32_t chunk_id) {
   if (!options_.fine_grained_sync) return;
   // Solo rounds complete no barrier (and charge no modeled barrier wakeups).
   if (solo_round_.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mutex_);
   if (static_cast<std::int64_t>(pid) != current_pid_) return;
+  if (barrier_members_.count(job) == 0) return;  // late attacher: no barrier
   if (barrier_participants_ <= 1) {
     barrier_chunk_ = chunk_id + 1;
     ++stats_.chunk_barriers;
     return;
   }
+  SC_TRACE("[sc] end_chunk job=%u pid=%u c=%u arrived=%zu/%zu\n", job, pid, chunk_id, barrier_arrived_ + 1, barrier_participants_);
   if (++barrier_arrived_ == barrier_participants_) {
     barrier_arrived_ = 0;
     barrier_chunk_ = chunk_id + 1;
@@ -236,11 +323,13 @@ grid::PartitionView SharingController::build_view_locked(JobId job, PartitionId 
       // replaced content.
       span.runs = (*overlay)->info.runs.data();
       span.num_runs = static_cast<std::uint32_t>((*overlay)->info.runs.size());
+      span.runs_sorted = (*overlay)->info.runs_sorted;
     } else {
       span.edges = shared_buffer_.data() + info.edge_begin;
       span.edge_count = info.total_edges();
       span.runs = info.runs.data();
       span.num_runs = static_cast<std::uint32_t>(info.runs.size());
+      span.runs_sorted = info.runs_sorted;
     }
     span.llc_base = reinterpret_cast<std::uint64_t>(span.edges);
     view.chunks.push_back(span);
@@ -310,7 +399,7 @@ void SharingController::gc_updates_locked() {
   // visible to every live job.
   std::uint64_t min_live_version = version_counter_;
   for (const auto& [job, state] : jobs_) {
-    if (!state.finished) min_live_version = std::min(min_live_version, state.version);
+    min_live_version = std::min(min_live_version, state.version);
   }
   for (auto& [key, versions] : updates_) {
     // Keep the last version whose `version <= min_live_version` and
@@ -330,11 +419,7 @@ SharingController::Stats SharingController::stats() const {
 
 std::size_t SharingController::live_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t live = 0;
-  for (const auto& [job, state] : jobs_) {
-    if (!state.finished) ++live;
-  }
-  return live;
+  return jobs_.size();  // finished jobs are erased on job_finished
 }
 
 std::size_t SharingController::snapshot_chunks_live() const {

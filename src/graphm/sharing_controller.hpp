@@ -44,6 +44,14 @@ struct GraphMOptions {
   /// Workers for Init()'s labelling pass (Algorithm 1). Chunk boundaries are
   /// size-determined, so parallel labelling is bit-identical to serial.
   std::size_t label_threads = 1;
+  /// Open-loop service mode (Algorithm 2 taken to its limit): a job whose
+  /// needs include the partition already resident in the shared buffer may
+  /// attach to the round in flight instead of waiting for the next round.
+  /// Late attachers free-run over the resident buffer (they join neither the
+  /// chunk barrier nor its lock-step pacing) and hold the buffer until they
+  /// release, so the group never reloads for them. Off by default: the
+  /// closed-batch executor keeps the paper's strict round membership.
+  bool allow_mid_round_attach = false;
 };
 
 /// Reserved job id for preprocessing-time I/O accounting.
@@ -54,9 +62,11 @@ class SharingController {
   struct Stats {
     std::uint64_t partition_loads = 0;   // Load() executions (buffer fills)
     std::uint64_t attaches = 0;          // jobs served from the shared buffer
+    std::uint64_t mid_round_attaches = 0;  // late joins to a round in flight
     std::uint64_t suspensions = 0;       // waits in acquire_next
     std::uint64_t chunk_barriers = 0;    // completed chunk barrier rounds
     std::uint64_t snapshot_copies = 0;   // COW chunk copies created
+    std::uint64_t mid_round_detaches = 0;  // jobs detached from a live round
   };
 
   SharingController(const storage::PartitionedStore& store, sim::Platform& platform,
@@ -66,6 +76,8 @@ class SharingController {
   /// Captures the job's snapshot version (updates applied later stay
   /// invisible to it).
   void register_job(JobId job);
+  /// Ends the job: detaches it from any live round, frees its mutation
+  /// copies and erases its entry (GCing update versions it kept alive).
   void job_finished(JobId job);
 
   // --- iteration protocol (the PartitionLoader seam) -----------------------
@@ -94,10 +106,12 @@ class SharingController {
   [[nodiscard]] std::size_t snapshot_chunks_live() const;
 
  private:
+  /// One entry per *live* job (job_finished erases — the service routes an
+  /// unbounded job stream through one controller, and round assembly walks
+  /// this map under the mutex).
   struct JobState {
     std::set<PartitionId> needs;
     std::uint64_t version = 0;
-    bool finished = false;
   };
   struct OverlayChunk {
     std::vector<graph::Edge> edges;
@@ -130,10 +144,16 @@ class SharingController {
   std::map<JobId, JobState> jobs_;
   std::uint64_t version_counter_ = 0;
 
+  void detach_from_round_locked(JobId job);
+
   // Serving state (Algorithm 2).
   std::int64_t current_pid_ = -1;
   std::set<JobId> current_unacquired_;
   std::set<JobId> current_unreleased_;
+  /// Round participants subject to the chunk barrier. Late mid-round
+  /// attachers appear in current_unreleased_ (they pin the buffer) but never
+  /// here — they stream at their own pace.
+  std::set<JobId> barrier_members_;
   std::vector<graph::Edge> shared_buffer_;
   bool buffer_loaded_ = false;
   bool buffer_loading_ = false;

@@ -27,6 +27,11 @@ struct ChunkSpan {
   /// nullptr falls back to the plain gated block scan.
   const graph::SourceRun* runs = nullptr;
   std::uint32_t num_runs = 0;
+  /// True iff `runs` ascends strictly by source. Sparse frontiers then jump
+  /// straight to the next active source (AtomicBitmap::next_set_in_range +
+  /// binary search) instead of walking every run; unsorted indexes fall back
+  /// to the linear word-test walk.
+  bool runs_sorted = false;
 };
 
 struct PartitionView {

@@ -1,5 +1,6 @@
 #include "grid/stream_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/timer.hpp"
@@ -16,19 +17,20 @@ StreamEngine::StreamEngine(const storage::PartitionedStore& store, sim::Platform
   }
 }
 
-const std::vector<graph::SourceRun>& StreamEngine::partition_runs(
-    std::uint32_t pid, const ChunkSpan& span) const {
+const StreamEngine::RunIndex& StreamEngine::partition_runs(std::uint32_t pid,
+                                                           const ChunkSpan& span) const {
   // call_once per partition: concurrent jobs first touching *different*
-  // partitions build in parallel; once published the vector is immutable and
+  // partitions build in parallel; once published the index is immutable and
   // reads are lock-free.
   std::call_once(run_cache_once_[pid], [&] {
-    std::vector<graph::SourceRun>& runs = run_cache_[pid];
+    RunIndex& index = run_cache_[pid];
     for (graph::EdgeCount i = 0; i < span.edge_count; ++i) {
-      graph::append_source_run(runs, span.edges[i].src);
+      graph::append_source_run(index.runs, span.edges[i].src);
     }
-    runs.shrink_to_fit();
+    index.runs.shrink_to_fit();
+    index.sorted = graph::source_runs_sorted(index.runs);
     std::lock_guard<std::mutex> lock(run_cache_mutex_);
-    run_cache_bytes_ += runs.size() * sizeof(graph::SourceRun);
+    run_cache_bytes_ += index.runs.size() * sizeof(graph::SourceRun);
     run_cache_tracking_ = sim::TrackedAllocation(
         &platform_.memory(), sim::MemoryCategory::kChunkTables, run_cache_bytes_);
   });
@@ -99,51 +101,71 @@ std::uint64_t StreamEngine::stream_chunk(algos::StreamingAlgorithm& algorithm,
   }
 
   // Source-run skipping: streaming is bandwidth-bound, so the win on an
-  // inactive source is never touching its edges. Walk the 8-byte-per-entry
-  // run index (one frontier word covers up to 64 consecutive sorted sources),
-  // coalesce active runs into segments, and only those segments' edges are
-  // read. Short inactive gaps are absorbed into the surrounding segment —
-  // the in-block word test filters them far cheaper than fragmenting the
-  // stream into per-run dispatches — so skipping only kicks in for gaps long
-  // enough to pay back. The segments cover, in stream order, every edge the
-  // gated scan would relax; the per-edge gating inside process_edge_block
-  // does the rest, so results stay bit-identical.
+  // inactive source is never touching its edges. Walk the run index (one
+  // frontier word covers up to 64 consecutive sorted sources), coalesce
+  // active runs into segments, and only those segments' edges are read.
+  // Short inactive gaps are absorbed into the surrounding segment — the
+  // in-block word test filters them far cheaper than fragmenting the stream
+  // into per-run dispatches — so skipping only kicks in for gaps long enough
+  // to pay back. The segments cover, in stream order, every edge the gated
+  // scan would relax; the per-edge gating inside process_edge_block does the
+  // rest, so results stay bit-identical.
+  //
+  // Word-granular jumping: on a sorted index (strictly ascending srcs), an
+  // inactive run doesn't start a linear scan — the frontier bitmap names the
+  // next active source directly (next_set_in_range skips 64 clear bits per
+  // word load) and a binary search lands on the first run at or past it, so
+  // a genuinely sparse frontier touches O(active log runs) index entries
+  // instead of all of them. Unsorted indexes (multi-block partition spans,
+  // arbitrary overlay content) keep the linear word-test walk.
   constexpr graph::EdgeCount kMinSkipEdges = 24;
   std::uint64_t processed = 0;
   util::WordCache words(active);
-  graph::EdgeCount pos = 0;
   graph::EdgeCount segment_begin = 0;
-  graph::EdgeCount segment_len = 0;   // segment = [segment_begin, +segment_len)
-  graph::EdgeCount gap_len = 0;       // trailing inactive edges after the segment
-  for (std::uint32_t r = 0; r < span.num_runs; ++r) {
+  graph::EdgeCount segment_end = 0;  // segment = [segment_begin, segment_end)
+  bool have_segment = false;
+  std::uint32_t r = 0;
+  while (r < span.num_runs) {
     const graph::SourceRun run = span.runs[r];
     if (words.test(run.src)) {
-      if (segment_len == 0) {
-        segment_begin = pos;
-      } else if (gap_len != 0) {
-        segment_len += gap_len;  // absorb the short gap
+      const graph::EdgeCount run_begin = run.begin;
+      if (!have_segment) {
+        segment_begin = run_begin;
+        have_segment = true;
+      } else if (run_begin - segment_end >= kMinSkipEdges) {
+        processed += stream_range(algorithm, span, segment_begin,
+                                  segment_end - segment_begin, active, fan_out);
+        segment_begin = run_begin;
       }
-      gap_len = 0;
-      segment_len += run.count;
-    } else if (segment_len != 0) {
-      gap_len += run.count;
-      if (gap_len >= kMinSkipEdges) {
-        processed +=
-            stream_range(algorithm, span, segment_begin, segment_len, active, fan_out);
-        segment_len = 0;
-        gap_len = 0;
-      }
+      // else: absorb the short gap [segment_end, run_begin).
+      segment_end = run_begin + run.count;
+      ++r;
+      continue;
     }
-    pos += run.count;
+    if (!span.runs_sorted) {
+      ++r;
+      continue;
+    }
+    const std::size_t next_src = active.next_set_in_range(run.src + 1, active.size());
+    if (next_src >= active.size()) break;  // no active source past this run
+    const graph::SourceRun* first = span.runs + r + 1;
+    const graph::SourceRun* last = span.runs + span.num_runs;
+    const graph::SourceRun* it =
+        std::lower_bound(first, last, next_src,
+                         [](const graph::SourceRun& a, std::size_t src) {
+                           return a.src < src;
+                         });
+    r = static_cast<std::uint32_t>(it - span.runs);
   }
-  if (segment_len != 0) {
-    processed += stream_range(algorithm, span, segment_begin, segment_len, active, fan_out);
+  if (have_segment) {
+    processed += stream_range(algorithm, span, segment_begin,
+                              segment_end - segment_begin, active, fan_out);
   }
   return processed;
 }
 
 JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorithm& algorithm,
-                                  PartitionLoader& loader) const {
+                                  PartitionLoader& loader, const JobControl* control) const {
   JobRunStats stats;
   util::Timer wall;
   const std::uint64_t io_before = platform_.page_cache().job_stats(job_id).virtual_io_ns;
@@ -153,6 +175,10 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
 
   std::uint64_t iteration = 0;
   while (!algorithm.done() && iteration < config_.max_iterations_guard) {
+    if (control != nullptr && control->cancel_requested()) {
+      stats.cancelled = true;
+      break;
+    }
     algorithm.iteration_start(iteration);
     const util::AtomicBitmap& active = algorithm.active_vertices();
     loader.register_iteration(job_id, active_partitions(active));
@@ -179,9 +205,10 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
         if (config_.use_blocks && !dense && span.runs == nullptr && num_chunks == 1 &&
             span.chunk_id == 0 && span.edge_count != 0 &&
             span.edge_count == store_.meta().partition_edges(view->pid)) {
-          const auto& runs = partition_runs(view->pid, span);
-          span.runs = runs.data();
-          span.num_runs = static_cast<std::uint32_t>(runs.size());
+          const RunIndex& index = partition_runs(view->pid, span);
+          span.runs = index.runs.data();
+          span.num_runs = static_cast<std::uint32_t>(index.runs.size());
+          span.runs_sorted = index.sorted;
         }
         loader.begin_chunk(job_id, view->pid, span.chunk_id);
 
@@ -237,11 +264,19 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
                          elapsed);
       }
       loader.release(job_id, view->pid);
+      if (control != nullptr && control->cancel_requested()) {
+        stats.cancelled = true;
+        break;
+      }
     }
+    if (stats.cancelled) break;  // mid-iteration: skip iteration_end
     algorithm.iteration_end();
     ++iteration;
   }
 
+  // A cancelled job may leave partition needs unconsumed; job_finished tells
+  // the loader (and, under -M, the sharing controller's detach seam) so the
+  // group advances without it.
   loader.job_finished(job_id);
   stats.iterations = iteration;
   stats.wall_ns = wall.elapsed_ns();

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -57,6 +58,24 @@ struct JobRunStats {
   std::uint64_t compute_ns = 0;   // time inside the edge loops
   std::uint64_t io_stall_ns = 0;  // modeled disk stall attributed to this job
   std::uint64_t wall_ns = 0;      // end-to-end (includes suspension under -M)
+  bool cancelled = false;         // stopped early via JobControl
+};
+
+/// Cooperative cancellation for long-running jobs (the service layer's
+/// deadline aborts). The engine polls it at iteration and partition
+/// boundaries only — never inside the edge loops — so cancellation latency is
+/// bounded by one partition round and the hot path stays untouched. A
+/// cancelled job detaches from its sharing group via the loader's
+/// job_finished seam; its algorithm state is left mid-flight.
+struct JobControl {
+  std::atomic<bool> cancel{false};
+  /// Optional predicate polled alongside `cancel` (e.g. a deadline check
+  /// against the service clock). Must be thread-safe and cheap.
+  std::function<bool()> should_cancel;
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel.load(std::memory_order_relaxed) || (should_cancel && should_cancel());
+  }
 };
 
 class StreamEngine {
@@ -65,8 +84,10 @@ class StreamEngine {
 
   /// Runs `algorithm` to completion as job `job_id`, loading partitions via
   /// `loader`. Thread-safe w.r.t. other jobs running on the same engine.
+  /// `control` (optional) is polled at iteration/partition boundaries; when
+  /// it requests cancellation the job stops early with stats.cancelled set.
   JobRunStats run_job(std::uint32_t job_id, algos::StreamingAlgorithm& algorithm,
-                      PartitionLoader& loader) const;
+                      PartitionLoader& loader, const JobControl* control = nullptr) const;
 
   /// Partitions with at least one active source vertex and at least one edge.
   [[nodiscard]] std::vector<std::uint32_t> active_partitions(
@@ -96,14 +117,18 @@ class StreamEngine {
                              graph::EdgeCount begin, graph::EdgeCount len,
                              const util::AtomicBitmap& active, bool fan_out) const;
 
+  struct RunIndex {
+    std::vector<graph::SourceRun> runs;
+    bool sorted = false;  // strictly ascending srcs => binary-search jumps
+  };
+
   /// The shared per-partition source-run index for loaders that hand out
   /// bare full-partition spans (DefaultLoader). Built lazily from the span's
   /// own edges on first sparse use, then reused by every job on this engine
   /// — immutable structure metadata, like out_degrees_. Tracked under
   /// kChunkTables (it is skip-index metadata, the same class as GraphM's
   /// Set_c).
-  const std::vector<graph::SourceRun>& partition_runs(std::uint32_t pid,
-                                                      const ChunkSpan& span) const;
+  const RunIndex& partition_runs(std::uint32_t pid, const ChunkSpan& span) const;
 
   const storage::PartitionedStore& store_;
   sim::Platform& platform_;
@@ -112,7 +137,7 @@ class StreamEngine {
   std::unique_ptr<util::ThreadPool> pool_;  // present iff num_stream_threads > 1
 
   mutable std::mutex run_cache_mutex_;  // guards only the tracked byte counter
-  mutable std::vector<std::vector<graph::SourceRun>> run_cache_;  // sized to P, stable
+  mutable std::vector<RunIndex> run_cache_;  // sized to P, stable
   /// One flag per partition so distinct partitions build concurrently; the
   /// deque keeps the (immovable) flags at stable addresses.
   mutable std::deque<std::once_flag> run_cache_once_;

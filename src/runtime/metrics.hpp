@@ -36,10 +36,35 @@ struct JobOutcome {
   std::vector<double> result;      // final vertex values (optional)
   std::uint64_t mem_stall_ns = 0;  // this job's modeled DRAM stall
   std::uint32_t modeled_cores = 16;
+  /// Measured per-job lifecycle on the run's wall clock (t=0 at the run
+  /// start): when the job was submitted, when it actually started executing,
+  /// and when it finished. The service layer's SLO reporting is built on
+  /// latency = completion − arrival; the executor fills the same fields so
+  /// batch runs report per-job latency percentiles through the same stats
+  /// module (service::latency_from_outcomes).
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t completion_ns = 0;
+  [[nodiscard]] std::uint64_t latency_ns() const {
+    return completion_ns > arrival_ns ? completion_ns - arrival_ns : 0;
+  }
+  [[nodiscard]] std::uint64_t queue_wait_ns() const {
+    return start_ns > arrival_ns ? start_ns - arrival_ns : 0;
+  }
   /// Per-job modeled execution time (Fig 3d): the job's own wall share and
   /// DRAM stalls over the modeled cores, plus its (serial) disk stalls.
   [[nodiscard]] std::uint64_t job_time_ns() const {
     return (stats.wall_ns + mem_stall_ns) / std::max(1u, modeled_cores) +
+           stats.io_stall_ns;
+  }
+  /// Scheduling-noise-resistant variant: in-loop compute plus simulated
+  /// stalls only — the per-job analogue of RunMetrics::total_time_ns. Unlike
+  /// job_time_ns (whose wall share includes suspension and co-scheduling
+  /// waits of the measuring host), every term here is either measured inside
+  /// the edge loops or simulated, so cross-scheme comparisons survive an
+  /// oversubscribed host. The service's modeled SLO replay is built on it.
+  [[nodiscard]] std::uint64_t modeled_exec_ns() const {
+    return (stats.compute_ns + mem_stall_ns) / std::max(1u, modeled_cores) +
            stats.io_stall_ns;
   }
 };

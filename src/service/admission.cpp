@@ -1,0 +1,105 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace graphm::service {
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kImmediate: return "immediate";
+    case AdmissionPolicy::kBatchUntilK: return "batch-until-k";
+    case AdmissionPolicy::kDeadline: return "deadline-edf";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(Config config) : config_(config) {}
+
+bool AdmissionQueue::push(JobRecordPtr job, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  if (ready_.size() + held_.size() >= config_.max_depth) return false;
+  if (config_.policy == AdmissionPolicy::kBatchUntilK && config_.batch_k > 1) {
+    if (held_.empty()) oldest_held_arrival_ns_ = now_ns;
+    held_.push_back(std::move(job));
+    if (held_.size() >= config_.batch_k) {
+      // Threshold reached: the whole batch becomes dispatchable at once, so
+      // it enters the sharing group at a single point in the stream.
+      for (JobRecordPtr& held : held_) ready_.push_back(std::move(held));
+      held_.clear();
+    }
+  } else {
+    ready_.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+JobRecordPtr AdmissionQueue::take_locked() {
+  if (config_.policy == AdmissionPolicy::kDeadline) {
+    // EDF: tightest deadline first; deadline-less jobs (0 mapped to +inf)
+    // last; FIFO (queue order) among equals.
+    auto best = ready_.begin();
+    auto key = [](const JobRecordPtr& job) {
+      return job->deadline_ns == 0 ? UINT64_MAX : job->deadline_ns;
+    };
+    for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
+      if (key(*it) < key(*best)) best = it;
+    }
+    JobRecordPtr job = std::move(*best);
+    ready_.erase(best);
+    return job;
+  }
+  JobRecordPtr job = std::move(ready_.front());
+  ready_.pop_front();
+  return job;
+}
+
+JobRecordPtr AdmissionQueue::pop(const std::function<std::uint64_t()>& now_ns) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!ready_.empty()) return take_locked();
+    if (!held_.empty()) {
+      // A partial batch: dispatch anyway once the oldest member has waited
+      // out the batch window (bounded added latency), otherwise sleep until
+      // that moment or a state change.
+      const std::uint64_t now = now_ns();
+      const std::uint64_t release_at = oldest_held_arrival_ns_ + config_.batch_max_wait_ns;
+      if (closed_ || now >= release_at) {
+        for (JobRecordPtr& held : held_) ready_.push_back(std::move(held));
+        held_.clear();
+        continue;
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(release_at - now));
+      continue;
+    }
+    if (closed_) return nullptr;
+    cv_.wait(lock);
+  }
+}
+
+void AdmissionQueue::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (JobRecordPtr& held : held_) ready_.push_back(std::move(held));
+  held_.clear();
+  cv_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size() + held_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace graphm::service

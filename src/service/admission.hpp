@@ -1,0 +1,114 @@
+// Admission control for the open-loop job service: the bounded submission
+// queue and the policies that decide when a queued job is dispatched into the
+// sharing group.
+//
+// Policies:
+//  * kImmediate    — dispatch as soon as a worker is free; the job attaches
+//                    to the in-flight stream at the next chunk/partition
+//                    boundary (Algorithm 2: the first job loads, later jobs
+//                    attach — taken open-loop).
+//  * kBatchUntilK  — hold arrivals until k are waiting (or the oldest has
+//                    waited batch_max_wait_ns), then release them together.
+//                    Trades queue wait for maximal overlap: a batch enters
+//                    the stream at one point and shares every load.
+//  * kDeadline     — earliest-deadline-first dispatch order (SLO-aware
+//                    grouping): among queued jobs the tightest deadline runs
+//                    next; deadline-less jobs sort last, FIFO among equals.
+//
+// Backpressure: the queue is bounded (max_depth); submissions beyond it are
+// rejected at submit() so an overloaded service sheds load at the edge
+// instead of growing an unbounded backlog.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "algos/factory.hpp"
+#include "grid/stream_engine.hpp"
+#include "runtime/metrics.hpp"
+
+namespace graphm::service {
+
+enum class AdmissionPolicy : int { kImmediate = 0, kBatchUntilK = 1, kDeadline = 2 };
+
+const char* admission_policy_name(AdmissionPolicy policy);
+
+enum class JobState : int { kQueued = 0, kRunning = 1, kDone = 2, kCancelled = 3, kRejected = 4 };
+
+/// Shared record of one submitted job: the submission parameters, lifecycle
+/// timestamps on the service clock, and the outcome. Owned jointly by the
+/// service and the client's JobHandle.
+struct JobRecord {
+  std::uint32_t job_id = 0;
+  std::size_t dataset = 0;
+  algos::JobSpec spec;
+  std::uint64_t deadline_ns = 0;  // absolute service-clock deadline; 0 = none
+
+  runtime::JobOutcome outcome;  // timestamps, engine stats, optional result
+  std::uint64_t modeled_latency_ns = 0;
+  bool missed_deadline = false;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  std::mutex mutex;
+  std::condition_variable cv;  // signalled on terminal state
+
+  [[nodiscard]] bool terminal() const {
+    const JobState s = state.load(std::memory_order_acquire);
+    return s == JobState::kDone || s == JobState::kCancelled || s == JobState::kRejected;
+  }
+};
+
+using JobRecordPtr = std::shared_ptr<JobRecord>;
+
+class AdmissionQueue {
+ public:
+  struct Config {
+    AdmissionPolicy policy = AdmissionPolicy::kImmediate;
+    std::size_t max_depth = 1024;
+    std::size_t batch_k = 4;
+    std::uint64_t batch_max_wait_ns = 50'000'000;  // 50 ms
+  };
+
+  explicit AdmissionQueue(Config config);
+
+  /// Enqueues under the policy. Returns false (and leaves the record
+  /// untouched) when the queue is at max_depth — the backpressure reject.
+  bool push(JobRecordPtr job, std::uint64_t now_ns);
+
+  /// Blocks until a job is dispatchable, the batch timer says to stop
+  /// holding, or the queue is closed. Returns nullptr only when closed and
+  /// empty. `now_ns` reads the service clock (used for batch timeouts).
+  JobRecordPtr pop(const std::function<std::uint64_t()>& now_ns);
+
+  /// Releases any held batch immediately (drain/shutdown path: a partial
+  /// batch must not dam the queue forever).
+  void flush();
+
+  /// Wakes poppers; pop drains the remaining jobs, then returns nullptr.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  /// Removes and returns the next job per policy. Caller holds the mutex and
+  /// guarantees ready_ is non-empty.
+  JobRecordPtr take_locked();
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Jobs eligible for dispatch. Under kBatchUntilK jobs sit in held_ first.
+  std::deque<JobRecordPtr> ready_;
+  std::deque<JobRecordPtr> held_;  // kBatchUntilK only
+  std::uint64_t oldest_held_arrival_ns_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace graphm::service

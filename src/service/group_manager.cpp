@@ -1,0 +1,73 @@
+#include "service/group_manager.hpp"
+
+#include <algorithm>
+
+namespace graphm::service {
+
+GroupManager::GroupManager(std::size_t num_datasets) : datasets_(num_datasets) {}
+
+void GroupManager::set_dataset_name(std::size_t dataset, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_.at(dataset).name = std::move(name);
+}
+
+void GroupManager::fill_deltas(GroupRecord& record,
+                               const core::SharingController::Stats& at_open,
+                               const core::SharingController::Stats& now) {
+  record.partition_loads = now.partition_loads - at_open.partition_loads;
+  record.attaches = now.attaches - at_open.attaches;
+  record.mid_round_attaches = now.mid_round_attaches - at_open.mid_round_attaches;
+}
+
+void GroupManager::job_started(std::size_t dataset, std::uint64_t now_ns,
+                               const core::SharingController::Stats& sharing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetState& state = datasets_.at(dataset);
+  if (!state.open_group) {
+    state.open = GroupRecord{};
+    state.open.group_id = next_group_id_++;
+    state.open.dataset = state.name;
+    state.open.opened_ns = now_ns;
+    state.at_open = sharing;
+    state.open_group = true;
+  }
+  ++state.running;
+  ++state.open.jobs_served;
+  state.open.peak_concurrency = std::max(state.open.peak_concurrency, state.running);
+}
+
+void GroupManager::job_finished(std::size_t dataset, std::uint64_t now_ns,
+                                const core::SharingController::Stats& sharing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetState& state = datasets_.at(dataset);
+  if (state.running > 0) --state.running;
+  if (state.running == 0 && state.open_group) {
+    state.open.closed_ns = now_ns;
+    fill_deltas(state.open, state.at_open, sharing);
+    closed_.push_back(state.open);
+    state.open_group = false;
+  }
+}
+
+std::uint32_t GroupManager::running(std::size_t dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.at(dataset).running;
+}
+
+std::uint32_t GroupManager::running_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t total = 0;
+  for (const DatasetState& state : datasets_) total += state.running;
+  return total;
+}
+
+std::vector<GroupRecord> GroupManager::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GroupRecord> records = closed_;
+  for (const DatasetState& state : datasets_) {
+    if (state.open_group) records.push_back(state.open);
+  }
+  return records;
+}
+
+}  // namespace graphm::service

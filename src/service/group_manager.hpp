@@ -1,0 +1,64 @@
+// Sharing-group lifecycle: one group per dataset per busy interval.
+//
+// GraphM's sharing machinery is always-on per dataset, but for an open-loop
+// service the interesting unit is the *group*: the maximal interval during
+// which the dataset has at least one job in flight. The first dispatched job
+// opens the group (and pays the structure loads), later arrivals attach to
+// the in-flight stream (SharingController::allow_mid_round_attach), and the
+// last completion closes the group. Each closed group records its own
+// sharing economy — loads vs attaches within the interval — by differencing
+// the dataset controller's counters at open and close.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graphm/sharing_controller.hpp"
+#include "service/service_stats.hpp"
+
+namespace graphm::service {
+
+class GroupManager {
+ public:
+  explicit GroupManager(std::size_t num_datasets);
+
+  void set_dataset_name(std::size_t dataset, std::string name);
+
+  /// A job starts executing on `dataset`. Opens a new group when the dataset
+  /// was idle. `sharing` is the dataset controller's current counters.
+  void job_started(std::size_t dataset, std::uint64_t now_ns,
+                   const core::SharingController::Stats& sharing);
+
+  /// A job finished (or was cancelled). Closes the group when the dataset
+  /// goes idle.
+  void job_finished(std::size_t dataset, std::uint64_t now_ns,
+                    const core::SharingController::Stats& sharing);
+
+  [[nodiscard]] std::uint32_t running(std::size_t dataset) const;
+  [[nodiscard]] std::uint32_t running_total() const;
+
+  /// Closed groups first (chronological), then any still-open groups with
+  /// closed_ns == 0 and counters as of the last transition.
+  [[nodiscard]] std::vector<GroupRecord> records() const;
+
+ private:
+  struct DatasetState {
+    std::string name;
+    std::uint32_t running = 0;
+    GroupRecord open;                       // valid iff open_group
+    core::SharingController::Stats at_open;  // counters when the group opened
+    bool open_group = false;
+  };
+
+  static void fill_deltas(GroupRecord& record, const core::SharingController::Stats& at_open,
+                          const core::SharingController::Stats& now);
+
+  mutable std::mutex mutex_;
+  std::vector<DatasetState> datasets_;
+  std::vector<GroupRecord> closed_;
+  std::uint64_t next_group_id_ = 1;
+};
+
+}  // namespace graphm::service

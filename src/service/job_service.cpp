@@ -1,0 +1,210 @@
+#include "service/job_service.hpp"
+
+#include <algorithm>
+
+namespace graphm::service {
+
+const char* exec_mode_name(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kShared: return "service-shared";
+    case ExecMode::kIsolated: return "isolated";
+  }
+  return "?";
+}
+
+const JobRecord& JobHandle::await() const {
+  static JobRecord rejected;
+  rejected.state.store(JobState::kRejected, std::memory_order_release);
+  if (record_ == nullptr) return rejected;
+  std::unique_lock<std::mutex> lock(record_->mutex);
+  record_->cv.wait(lock, [this] { return record_->terminal(); });
+  return *record_;
+}
+
+JobService::JobService(const storage::PartitionedStore& store, ServiceConfig config,
+                       std::string dataset_name)
+    : JobService(std::vector<DatasetSpec>{{std::move(dataset_name), &store}},
+                 std::move(config)) {}
+
+JobService::JobService(std::vector<DatasetSpec> datasets, ServiceConfig config)
+    : config_(std::move(config)),
+      platform_(config_.platform),
+      queue_({config_.policy, config_.max_queue_depth, config_.batch_k,
+              config_.batch_max_wait_ns}),
+      groups_(datasets.size()) {
+  // Open-loop sharing needs mid-stream attach: a job dispatched while the
+  // group streams must join the resident partition, not wait a full round.
+  config_.graphm.allow_mid_round_attach = true;
+  datasets_.reserve(datasets.size());
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    Dataset dataset;
+    dataset.name = datasets[d].name;
+    dataset.store = datasets[d].store;
+    dataset.engine = std::make_unique<grid::StreamEngine>(*dataset.store, platform_,
+                                                          config_.stream);
+    if (config_.mode == ExecMode::kShared) {
+      dataset.graphm = std::make_unique<core::GraphM>(*dataset.store, platform_,
+                                                      config_.graphm);
+      dataset.graphm->init();
+    }
+    groups_.set_dataset_name(d, dataset.name);
+    datasets_.push_back(std::move(dataset));
+  }
+  // Labelling is preprocessing (Table 3); the serving clock starts cold.
+  platform_.page_cache().reset();
+  clock_.reset();
+  start_workers();
+}
+
+JobService::~JobService() { shutdown(); }
+
+void JobService::start_workers() {
+  const std::size_t count = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobHandle JobService::submit(const algos::JobSpec& spec, std::uint64_t deadline_ns,
+                             std::size_t dataset) {
+  collector_.on_submit();
+  auto record = std::make_shared<JobRecord>();
+  std::uint32_t id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  if (id == core::kPreprocessJobId) id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  record->job_id = id;
+  record->dataset = dataset;
+  record->spec = spec;
+  record->deadline_ns = deadline_ns;
+  record->outcome.spec = spec;
+  record->outcome.modeled_cores = config_.modeled_cores;
+  record->outcome.arrival_ns = now_ns();
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    ++unfinished_;
+  }
+  if (dataset >= datasets_.size() || shut_down_.load(std::memory_order_acquire) ||
+      !queue_.push(record, record->outcome.arrival_ns)) {
+    {
+      std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      --unfinished_;
+    }
+    // A drain() may be sleeping on the count this submission briefly raised.
+    idle_cv_.notify_all();
+    collector_.on_reject();
+    record->state.store(JobState::kRejected, std::memory_order_release);
+    record->cv.notify_all();
+    return JobHandle(record);
+  }
+  return JobHandle(record);
+}
+
+void JobService::worker_loop() {
+  const auto clock = [this] { return now_ns(); };
+  for (;;) {
+    JobRecordPtr job = queue_.pop(clock);
+    if (job == nullptr) return;  // queue closed and drained
+    execute(job);
+  }
+}
+
+void JobService::execute(const JobRecordPtr& job) {
+  Dataset& dataset = datasets_[job->dataset];
+
+  if (config_.cancel_past_deadline && job->deadline_ns != 0 && now_ns() > job->deadline_ns) {
+    // Shed at dispatch: the deadline passed while the job sat in the queue.
+    job->missed_deadline = true;
+    job->outcome.start_ns = now_ns();
+    job->outcome.completion_ns = job->outcome.start_ns;
+    finish(job, JobState::kCancelled, /*started=*/false);
+    return;
+  }
+
+  job->state.store(JobState::kRunning, std::memory_order_release);
+  const core::SharingController::Stats sharing_before =
+      dataset.graphm ? dataset.graphm->controller().stats() : core::SharingController::Stats{};
+  groups_.job_started(job->dataset, now_ns(), sharing_before);
+  collector_.on_start(now_ns(), groups_.running_total());
+
+  std::unique_ptr<grid::PartitionLoader> loader;
+  if (dataset.graphm) {
+    loader = dataset.graphm->make_loader(job->job_id);
+  } else {
+    loader = std::make_unique<grid::DefaultLoader>(*dataset.store, platform_);
+  }
+  auto algorithm = algos::make_algorithm(job->spec);
+
+  grid::JobControl control;
+  if (config_.cancel_past_deadline && job->deadline_ns != 0) {
+    const std::uint64_t deadline = job->deadline_ns;
+    control.should_cancel = [this, deadline] { return now_ns() > deadline; };
+  }
+
+  job->outcome.start_ns = now_ns();
+  job->outcome.stats = dataset.engine->run_job(job->job_id, *algorithm, *loader, &control);
+  job->outcome.completion_ns = now_ns();
+  if (config_.record_results && !job->outcome.stats.cancelled) {
+    job->outcome.result = algorithm->result();
+  }
+
+  // Modeled latency: queue wait (measured) + the metrics.hpp per-job time
+  // composition (wall share + DRAM stall over the modeled cores + serial
+  // disk stall).
+  const auto cache = platform_.llc().job_stats(job->job_id);
+  job->outcome.mem_stall_ns = static_cast<std::uint64_t>(
+      static_cast<double>(cache.misses) * config_.dram_latency_s * 1e9);
+  job->modeled_latency_ns = job->outcome.queue_wait_ns() + job->outcome.job_time_ns();
+  job->missed_deadline =
+      job->deadline_ns != 0 && job->outcome.completion_ns > job->deadline_ns;
+
+  finish(job, job->outcome.stats.cancelled ? JobState::kCancelled : JobState::kDone,
+         /*started=*/true);
+}
+
+void JobService::finish(const JobRecordPtr& job, JobState terminal, bool started) {
+  const Dataset& dataset = datasets_[job->dataset];
+  const core::SharingController::Stats sharing_after =
+      dataset.graphm ? dataset.graphm->controller().stats() : core::SharingController::Stats{};
+  if (started) groups_.job_finished(job->dataset, now_ns(), sharing_after);
+  collector_.on_finish(job->outcome, job->modeled_latency_ns,
+                       terminal == JobState::kCancelled, job->missed_deadline, now_ns(),
+                       groups_.running_total());
+
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->state.store(terminal, std::memory_order_release);
+  }
+  job->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    --unfinished_;
+  }
+  idle_cv_.notify_all();
+}
+
+void JobService::drain() {
+  queue_.flush();
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void JobService::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  drain();
+  queue_.close();  // workers exit when pop() drains to nullptr
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServiceStats JobService::stats() const {
+  return collector_.snapshot(groups_.records(), std::max<std::size_t>(1, config_.workers));
+}
+
+core::SharingController::Stats JobService::sharing_stats(std::size_t dataset) const {
+  const Dataset& d = datasets_.at(dataset);
+  return d.graphm ? d.graphm->controller().stats() : core::SharingController::Stats{};
+}
+
+}  // namespace graphm::service

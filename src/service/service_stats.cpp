@@ -1,0 +1,143 @@
+#include "service/service_stats.hpp"
+
+#include <algorithm>
+
+namespace graphm::service {
+
+namespace {
+
+double nearest_rank(const std::vector<std::uint64_t>& sorted, double quantile) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(quantile * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(rank, sorted.size() - 1)]);
+}
+
+}  // namespace
+
+LatencySummary summarize_latency(std::vector<std::uint64_t> samples_ns) {
+  LatencySummary summary;
+  if (samples_ns.empty()) return summary;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  summary.count = samples_ns.size();
+  double sum = 0.0;
+  for (const std::uint64_t s : samples_ns) sum += static_cast<double>(s);
+  summary.mean_ns = sum / static_cast<double>(samples_ns.size());
+  summary.p50_ns = nearest_rank(samples_ns, 0.50);
+  summary.p95_ns = nearest_rank(samples_ns, 0.95);
+  summary.p99_ns = nearest_rank(samples_ns, 0.99);
+  summary.max_ns = static_cast<double>(samples_ns.back());
+  return summary;
+}
+
+LatencySummary latency_from_outcomes(const std::vector<runtime::JobOutcome>& jobs) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(jobs.size());
+  for (const runtime::JobOutcome& job : jobs) samples.push_back(job.latency_ns());
+  return summarize_latency(std::move(samples));
+}
+
+void StatsCollector::on_submit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++submitted_;
+}
+
+void StatsCollector::on_reject() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void StatsCollector::on_start(std::uint64_t t_ns, std::uint32_t running) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timeline_.push_back({t_ns, running});
+  peak_concurrency_ = std::max(peak_concurrency_, running);
+}
+
+void StatsCollector::on_finish(const runtime::JobOutcome& outcome,
+                               std::uint64_t modeled_latency_ns, bool cancelled,
+                               bool missed_deadline, std::uint64_t t_ns,
+                               std::uint32_t running) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timeline_.push_back({t_ns, running});
+  if (cancelled) {
+    ++cancelled_;
+  } else {
+    runtime::JobOutcome kept = outcome;
+    kept.result.clear();  // the record's copy stays with the handle
+    completed_.push_back(std::move(kept));
+    modeled_latency_ns_.push_back(modeled_latency_ns);
+  }
+  if (missed_deadline) ++deadline_misses_;
+}
+
+ModeledReplay modeled_replay(std::vector<ReplayJob> jobs, std::size_t workers) {
+  ModeledReplay replay;
+  if (jobs.empty()) return replay;
+  std::sort(jobs.begin(), jobs.end(),
+            [](const ReplayJob& a, const ReplayJob& b) { return a.arrival_ns < b.arrival_ns; });
+  // FIFO onto the earliest-free of `workers` modeled executors.
+  std::vector<std::uint64_t> free_at(std::max<std::size_t>(1, workers), 0);
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(jobs.size());
+  std::uint64_t last_completion = 0;
+  for (const ReplayJob& job : jobs) {
+    auto slot = std::min_element(free_at.begin(), free_at.end());
+    const std::uint64_t start = std::max(*slot, job.arrival_ns);
+    const std::uint64_t completion = start + job.service_ns;
+    *slot = completion;
+    latencies.push_back(completion - job.arrival_ns);
+    last_completion = std::max(last_completion, completion);
+  }
+  const std::uint64_t first_arrival = jobs.front().arrival_ns;
+  if (last_completion > first_arrival) {
+    replay.sustained_jobs_per_s = static_cast<double>(jobs.size()) /
+                                  (static_cast<double>(last_completion - first_arrival) / 1e9);
+  }
+  replay.e2e = summarize_latency(std::move(latencies));
+  return replay;
+}
+
+ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
+                                      std::size_t workers) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats;
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.cancelled = cancelled_;
+  stats.deadline_misses = deadline_misses_;
+  stats.completed = completed_.size();
+  stats.peak_concurrency = peak_concurrency_;
+  stats.timeline = timeline_;
+  stats.groups = std::move(groups);
+
+  std::vector<std::uint64_t> waits, streams, e2e, exec_modeled;
+  std::vector<ReplayJob> replay_jobs;
+  waits.reserve(completed_.size());
+  streams.reserve(completed_.size());
+  e2e.reserve(completed_.size());
+  exec_modeled.reserve(completed_.size());
+  replay_jobs.reserve(completed_.size());
+  std::uint64_t first_arrival = UINT64_MAX;
+  std::uint64_t last_completion = 0;
+  for (const runtime::JobOutcome& job : completed_) {
+    waits.push_back(job.queue_wait_ns());
+    streams.push_back(job.completion_ns - job.start_ns);
+    e2e.push_back(job.latency_ns());
+    exec_modeled.push_back(job.modeled_exec_ns());
+    replay_jobs.push_back({job.arrival_ns, job.modeled_exec_ns()});
+    first_arrival = std::min(first_arrival, job.arrival_ns);
+    last_completion = std::max(last_completion, job.completion_ns);
+  }
+  stats.queue_wait = summarize_latency(std::move(waits));
+  stats.stream_time = summarize_latency(std::move(streams));
+  stats.e2e = summarize_latency(std::move(e2e));
+  stats.e2e_modeled = summarize_latency(modeled_latency_ns_);
+  stats.exec_modeled = summarize_latency(std::move(exec_modeled));
+  stats.modeled = modeled_replay(std::move(replay_jobs), workers);
+  if (!completed_.empty() && last_completion > first_arrival) {
+    stats.sustained_jobs_per_s = static_cast<double>(completed_.size()) /
+                                 (static_cast<double>(last_completion - first_arrival) / 1e9);
+  }
+  return stats;
+}
+
+}  // namespace graphm::service

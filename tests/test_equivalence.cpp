@@ -214,6 +214,32 @@ TEST(BlockVsScalar, EngineAgreesWithEngineFreeStreamingOracle) {
   }
 }
 
+TEST(BlockVsScalar, SortedRunJumpMatchesScalarOnSparseFrontiers) {
+  // Word-granular run skipping: on a single-partition grid the engine's
+  // partition run index is fully src-sorted, so sparse iterations take the
+  // next_set_in_range + binary-search jump path. BFS/SSSP frontiers go from
+  // one vertex through a wave to a sparse tail — every segmentation edge
+  // case (jump over long inactive stretches, short-gap absorption, trailing
+  // segment) against the seed's per-edge scalar oracle.
+  const auto g = test::small_rmat(4096, 20000, 13);  // sparse: long inactive gaps
+  for (const std::uint32_t partitions : {1u, 4u}) {
+    const grid::GridStore store = test::make_grid(g, partitions);
+    for (const auto kind : {algos::AlgorithmKind::kBfs, algos::AlgorithmKind::kSssp}) {
+      algos::JobSpec spec;
+      spec.kind = kind;
+      spec.root = 17;
+      const EngineRun oracle = run_single(store, spec, Path::kLegacyScalar, 1);
+      const EngineRun run = run_single(store, spec, Path::kBlocks, 1);
+      ASSERT_EQ(oracle.result, run.result)
+          << algos::to_string(kind) << " P=" << partitions;
+      EXPECT_EQ(oracle.stats.edges_processed, run.stats.edges_processed)
+          << algos::to_string(kind) << " P=" << partitions;
+      EXPECT_EQ(oracle.stats.iterations, run.stats.iterations);
+      EXPECT_EQ(oracle.instructions, run.instructions);
+    }
+  }
+}
+
 TEST(SchemeEquivalence, StaggeredArrivalsDoNotChangeResults) {
   const auto g = test::small_rmat(400, 5000, 9);
   const grid::GridStore store = test::make_grid(g, 4);

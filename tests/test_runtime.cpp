@@ -5,6 +5,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/job_queue.hpp"
 #include "runtime/workloads.hpp"
+#include "service/service_stats.hpp"
 #include "test_helpers.hpp"
 
 namespace graphm::runtime {
@@ -55,6 +56,61 @@ TEST(JobQueue, TraceToArrivalsTracksLevel) {
   const auto arrivals = trace_to_arrivals(trace, 1.0, 1000, 100);
   EXPECT_EQ(arrivals.size(), 8u) << "4 jobs/hour for 2 hours at duration 1h";
   for (std::size_t i = 1; i < arrivals.size(); ++i) EXPECT_GE(arrivals[i], arrivals[i - 1]);
+}
+
+TEST(JobQueue, ArrivalProcessesAreDeterministicUnderFixedSeeds) {
+  // The benches replay the identical arrival stream across execution modes;
+  // that comparison is only meaningful if the generators are pure functions
+  // of their seed.
+  EXPECT_EQ(poisson_arrivals(64, 16.0, 1'000'000, 42),
+            poisson_arrivals(64, 16.0, 1'000'000, 42));
+  EXPECT_NE(poisson_arrivals(64, 16.0, 1'000'000, 42),
+            poisson_arrivals(64, 16.0, 1'000'000, 43));
+
+  const auto trace_a = synthesize_week_trace(168, 7);
+  const auto trace_b = synthesize_week_trace(168, 7);
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t h = 0; h < trace_a.size(); ++h) {
+    EXPECT_EQ(trace_a[h].concurrent_jobs, trace_b[h].concurrent_jobs) << "hour " << h;
+    EXPECT_EQ(trace_a[h].hour, trace_b[h].hour);
+  }
+  const auto trace_c = synthesize_week_trace(168, 8);
+  bool any_differs = false;
+  for (std::size_t h = 0; h < trace_a.size(); ++h) {
+    any_differs = any_differs || trace_a[h].concurrent_jobs != trace_c[h].concurrent_jobs;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds must synthesize different weeks";
+}
+
+TEST(JobQueue, WeekTraceStaysWithinClampBounds) {
+  // Multiple seeds and a multi-week horizon: every sample within the
+  // documented [2, 34] clamp, every week keeps the Figure-2 statistics.
+  for (const std::uint64_t seed : {1ull, 9ull, 123ull}) {
+    const auto trace = synthesize_week_trace(2 * 168, seed);
+    double sum = 0.0;
+    std::uint32_t peak = 0;
+    for (const auto& point : trace) {
+      EXPECT_GE(point.concurrent_jobs, 2u);
+      EXPECT_LE(point.concurrent_jobs, 34u);
+      sum += point.concurrent_jobs;
+      peak = std::max(peak, point.concurrent_jobs);
+    }
+    EXPECT_NEAR(sum / static_cast<double>(trace.size()), 16.0, 2.5) << "seed " << seed;
+    EXPECT_GT(peak, 30u) << "seed " << seed;
+  }
+}
+
+TEST(JobQueue, TraceToArrivalsOffsetsAreMonotoneAndBounded) {
+  const auto trace = synthesize_week_trace(168, 5);
+  constexpr std::uint64_t kHourNs = 10'000;
+  const auto arrivals = trace_to_arrivals(trace, /*job_duration_hours=*/2.0, kHourNs, 500);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_LE(arrivals.size(), 500u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]) << "submission offsets must be monotone";
+  }
+  // No offset can land beyond the trace horizon (+1 fractional hour).
+  EXPECT_LT(arrivals.back(), (static_cast<std::uint64_t>(trace.size()) + 1) * kHourNs);
 }
 
 TEST(Executor, MemoryUsageOrderingAcrossSchemes) {
@@ -115,6 +171,44 @@ TEST(Executor, SequentialHasNoSharing) {
   const auto s = run_jobs(Scheme::kSequential, store, jobs, {});
   EXPECT_EQ(s.sharing.partition_loads, 0u);
   EXPECT_EQ(s.sharing.attaches, 0u);
+}
+
+TEST(Executor, RecordsPerJobLifecycleTimestamps) {
+  const auto g = test::small_rmat(300, 4000, 6);
+  const grid::GridStore store = test::make_grid(g, 2);
+  const auto jobs = paper_mix(4, g.num_vertices(), 1);
+
+  // Staggered open-loop arrivals: each job's arrival/start/completion land
+  // on the run clock and latency = completion − arrival is reportable.
+  ExecutorConfig config;
+  config.arrival_offsets_ns.assign(jobs.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    config.arrival_offsets_ns[j] = j * 500'000;  // 0.5 ms apart
+  }
+  const auto m = run_jobs(Scheme::kShared, store, jobs, config);
+  for (std::size_t j = 0; j < m.jobs.size(); ++j) {
+    const JobOutcome& job = m.jobs[j];
+    EXPECT_GE(job.arrival_ns, config.arrival_offsets_ns[j]) << "job " << j;
+    EXPECT_GE(job.start_ns, job.arrival_ns) << "job " << j;
+    EXPECT_GT(job.completion_ns, job.start_ns) << "job " << j;
+    EXPECT_EQ(job.latency_ns(), job.completion_ns - job.arrival_ns);
+    EXPECT_LE(job.completion_ns, m.makespan_wall_ns);
+  }
+  // The executor's outcomes feed the service stats module directly.
+  const auto latency = service::latency_from_outcomes(m.jobs);
+  EXPECT_EQ(latency.count, m.jobs.size());
+  EXPECT_GT(latency.p50_ns, 0.0);
+  EXPECT_GE(latency.max_ns, latency.p95_ns);
+
+  // A sequential batch is submitted up front: arrivals stay 0 and each job's
+  // latency includes the wait behind its predecessors.
+  const auto s = run_jobs(Scheme::kSequential, store, jobs, {});
+  for (std::size_t j = 1; j < s.jobs.size(); ++j) {
+    EXPECT_EQ(s.jobs[j].arrival_ns, 0u);
+    EXPECT_GE(s.jobs[j].start_ns, s.jobs[j - 1].completion_ns);
+    EXPECT_GE(s.jobs[j].queue_wait_ns(), s.jobs[j - 1].completion_ns -
+                                             s.jobs[j - 1].start_ns);
+  }
 }
 
 TEST(Executor, EmptyJobListIsAnEmptyRun) {
