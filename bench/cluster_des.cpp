@@ -1,0 +1,213 @@
+// Cluster DES benchmark: the Figure-21 node sweep priced by the message-level
+// simulator instead of the closed-form engines, plus a service-mode λ sweep
+// per backend kind (the JobService story on the simulated cluster).
+//
+//   node sweep : 64..128 nodes × {-S,-C,-M} × {PowerGraph, Chaos}, paper mix
+//                on ukunion_s. SHAPE checks the paper's claims: every scheme
+//                speeds up with more nodes, -M scales best on both engines —
+//                now as emergent message-level effects.
+//   λ sweep    : Poisson arrivals routed through ClusterService per backend
+//                kind, shared-structure vs private, reporting the same
+//                queue-wait/stream/e2e p50-p95-p99 stats JobService emits.
+//
+// Emits BENCH_cluster.json. GRAPHM_CLUSTER_SMOKE=1 shrinks everything to a
+// few seconds (tiny RMAT graph, 8..16 nodes) for the CI smoke invocation;
+// GRAPHM_BENCH_OUT overrides the output path.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster_service.hpp"
+#include "cluster/des_engine.hpp"
+#include "graph/generators.hpp"
+#include "runtime/job_queue.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+using namespace graphm::cluster;
+
+namespace {
+
+bool smoke() { return std::getenv("GRAPHM_CLUSTER_SMOKE") != nullptr; }
+
+}  // namespace
+
+int main() {
+  const bool tiny = smoke();
+  const auto g = tiny ? graph::generate_rmat(1 << 12, 1 << 15, 42)
+                      : graph::load_dataset("ukunion_s", bench_scale());
+  const std::size_t num_jobs = tiny ? 8 : 16;
+  const auto jobs = runtime::paper_mix(num_jobs, g.num_vertices(), 0x21);
+  const auto profiles = dist::profile_jobs(g, jobs);
+  const std::vector<std::size_t> node_counts =
+      tiny ? std::vector<std::size_t>{8, 16}
+           : std::vector<std::size_t>{64, 80, 96, 112, 128};
+  const Backend backends[] = {Backend::kPowerGraph, Backend::kChaos};
+
+  const char* out_path = std::getenv("GRAPHM_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_cluster.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"cluster_des\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"paper mix, %s, %zu jobs, message-level DES\",\n",
+               tiny ? "rmat smoke" : "ukunion_s", num_jobs);
+
+  // -------------------------------------------------------------------------
+  // Node sweep: Figure 21 under the DES.
+  // -------------------------------------------------------------------------
+  bool all_speed_up = true;
+  bool shared_scales_best = true;
+  bool deterministic = true;
+  std::fprintf(f, "  \"node_sweep\": {\n");
+  for (std::size_t e = 0; e < 2; ++e) {
+    const Backend backend = backends[e];
+    util::TablePrinter table(std::string("cluster DES: ") + backend_name(backend) +
+                             " seconds vs nodes (" + std::to_string(num_jobs) +
+                             " jobs)");
+    table.set_header({"nodes", "-S", "-C", "-M", "-M loads"});
+    double first[3] = {0, 0, 0};
+    double last[3] = {0, 0, 0};
+    std::fprintf(f, "    \"%s\": {\n", backend_name(backend));
+    for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+      const std::size_t nodes = node_counts[ni];
+      dist::ClusterConfig cluster;
+      cluster.num_nodes = nodes;
+      cluster.num_groups = 1;
+      // One vertex-cut per width, shared by the three schemes (and the
+      // determinism repeat) — placement is two full edge scans.
+      const Placement placement = vertex_cut_placement(g, nodes);
+      double seconds[3] = {0, 0, 0};
+      double loads[3] = {0, 0, 0};
+      for (int k = 0; k < 3; ++k) {
+        const dist::DistScheme scheme{static_cast<dist::DistScheme::Kind>(k)};
+        const DesEstimate estimate =
+            des_run(backend, scheme, profiles, g, cluster, {}, &placement);
+        seconds[k] = estimate.seconds;
+        loads[k] = estimate.structure_loads;
+        if (ni == 0) first[k] = estimate.seconds;
+        if (ni + 1 == node_counts.size()) last[k] = estimate.seconds;
+        if (ni == 0 && k == 0) {
+          // Determinism witness: the same configuration replayed must match
+          // event for event and bit for bit.
+          const DesEstimate repeat =
+              des_run(backend, scheme, profiles, g, cluster, {}, &placement);
+          deterministic = deterministic && repeat.trace_hash == estimate.trace_hash &&
+                          repeat.seconds == estimate.seconds &&
+                          repeat.events == estimate.events;
+        }
+      }
+      table.add_row({std::to_string(nodes), util::TablePrinter::fmt(seconds[0]),
+                     util::TablePrinter::fmt(seconds[1]),
+                     util::TablePrinter::fmt(seconds[2]),
+                     util::TablePrinter::fmt(loads[2], 0)});
+      std::fprintf(f,
+                   "      \"nodes_%zu\": {\"S_s\": %.6f, \"C_s\": %.6f, \"M_s\": %.6f, "
+                   "\"S_loads\": %.0f, \"C_loads\": %.0f, \"M_loads\": %.0f}%s\n",
+                   nodes, seconds[0], seconds[1], seconds[2], loads[0], loads[1],
+                   loads[2], ni + 1 < node_counts.size() ? "," : "");
+    }
+    table.print();
+    for (int k = 0; k < 3; ++k) {
+      all_speed_up = all_speed_up && last[k] < first[k];
+    }
+    shared_scales_best = shared_scales_best && last[2] < last[0] && last[2] < last[1];
+    std::fprintf(f, "    }%s\n", e == 0 ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+
+  // -------------------------------------------------------------------------
+  // Service-mode λ sweep per backend kind: Poisson arrivals through
+  // ClusterService, shared structure vs private.
+  // -------------------------------------------------------------------------
+  const std::vector<double> lambdas =
+      tiny ? std::vector<double>{8.0} : std::vector<double>{4.0, 16.0};
+  const std::size_t service_jobs = tiny ? 6 : 12;
+  const std::size_t service_nodes = tiny ? 8 : 64;
+  const auto service_specs = runtime::paper_mix(service_jobs, g.num_vertices(), 0x5E);
+  // One λ unit ≈ 2 ms of simulated time between arrivals at λ=1.
+  constexpr std::uint64_t kMeanScaleNs = 2'000'000;
+
+  util::TablePrinter table("cluster DES service: open-loop λ sweep per backend");
+  table.set_header({"backend", "mode", "lambda", "jobs/s", "p50 ms", "p95 ms",
+                    "queue p95 ms", "loads"});
+  bool shared_loads_fewer = true;
+  std::fprintf(f, "  \"lambda_sweep\": {\n");
+  for (std::size_t e = 0; e < 2; ++e) {
+    const Backend backend = backends[e];
+    // One service per mode, reused across the λ sweep: shard copy, placement
+    // and the per-spec profile cache are construction/first-run work the
+    // class amortizes across run() calls (each run is independent).
+    std::vector<std::unique_ptr<ClusterService>> services(2);
+    for (int shared = 0; shared < 2; ++shared) {
+      std::vector<BackendConfig> spec(1);
+      spec[0].dataset = "main";
+      spec[0].engine = backend;
+      spec[0].shared_structure = shared == 1;
+      spec[0].num_nodes = service_nodes;
+      services[shared] =
+          std::make_unique<ClusterService>(g, spec, ClusterServiceConfig{});
+    }
+    std::fprintf(f, "    \"%s\": {\n", backend_name(backend));
+    for (std::size_t li = 0; li < lambdas.size(); ++li) {
+      const double lambda = lambdas[li];
+      const auto offsets = runtime::poisson_arrivals(service_jobs, lambda, kMeanScaleNs,
+                                                     0xFEED + li);
+      std::vector<Submission> submissions(service_jobs);
+      for (std::size_t j = 0; j < service_jobs; ++j) {
+        submissions[j].spec = service_specs[j];
+        submissions[j].arrival_ns = offsets[j];
+        submissions[j].dataset = "main";
+      }
+      double loads_by_mode[2] = {0, 0};
+      std::fprintf(f, "      \"lambda_%g\": {\n", lambda);
+      for (int shared = 1; shared >= 0; --shared) {
+        const auto stats = services[shared]->run(submissions);
+        const auto& s = stats[0];
+        loads_by_mode[shared] = s.structure_loads;
+        const char* mode = shared == 1 ? "shared" : "private";
+        table.add_row({backend_name(backend), mode, util::TablePrinter::fmt(lambda, 0),
+                       util::TablePrinter::fmt(s.sustained_jobs_per_s, 1),
+                       util::TablePrinter::fmt(s.e2e.p50_ns / 1e6, 2),
+                       util::TablePrinter::fmt(s.e2e.p95_ns / 1e6, 2),
+                       util::TablePrinter::fmt(s.queue_wait.p95_ns / 1e6, 2),
+                       util::TablePrinter::fmt(s.structure_loads, 0)});
+        std::fprintf(f,
+                     "        \"%s\": {\"completed\": %llu, \"jobs_per_s\": %.3f, "
+                     "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                     "\"queue_wait_p95_ms\": %.3f, \"stream_p95_ms\": %.3f, "
+                     "\"loads\": %.0f, \"network_gb\": %.4f}%s\n",
+                     mode, static_cast<unsigned long long>(s.completed),
+                     s.sustained_jobs_per_s, s.e2e.p50_ns / 1e6, s.e2e.p95_ns / 1e6,
+                     s.e2e.p99_ns / 1e6, s.queue_wait.p95_ns / 1e6,
+                     s.stream_time.p95_ns / 1e6, s.structure_loads, s.network_gb,
+                     shared == 1 ? "," : "");
+      }
+      shared_loads_fewer = shared_loads_fewer && loads_by_mode[1] < loads_by_mode[0];
+      std::fprintf(f, "      }%s\n", li + 1 < lambdas.size() ? "," : "");
+    }
+    std::fprintf(f, "    }%s\n", e == 0 ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"deterministic\": %s\n}\n", deterministic ? "true" : "false");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "short write to %s\n", out_path);
+    return 1;
+  }
+
+  table.print();
+  print_shape("every scheme speeds up 64->128 nodes (both engines)", all_speed_up);
+  print_shape("-M fastest at max nodes on both engines (DES)", shared_scales_best);
+  print_shape("DES bit-identical across repeats at fixed seed", deterministic);
+  print_shape("shared backend moves the structure fewer times (all lambdas)",
+              shared_loads_fewer);
+  std::printf("wrote %s\n", out_path);
+  return (all_speed_up && shared_scales_best && deterministic && shared_loads_fewer) ? 0
+                                                                                     : 1;
+}

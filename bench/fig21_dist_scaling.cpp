@@ -1,9 +1,13 @@
 // Figure 21: scalability of PowerGraph and Chaos (with and without GraphM)
 // on the simulated cluster, 64 jobs on UK-union, 64..128 nodes. Paper: all
 // schemes speed up with more nodes, and the -M variants scale best (less
-// communication/storage redundancy).
+// communication/storage redundancy). Each scheme is priced twice: by the
+// closed-form engines (src/dist/, the fast path) and by the message-level
+// discrete-event simulator (src/cluster/) — the "des" columns — so the
+// analytic speedup curve can be checked against emergent cluster behavior.
 #include "bench_support.hpp"
 
+#include "cluster/des_engine.hpp"
 #include "dist/chaos_engine.hpp"
 #include "dist/powergraph_engine.hpp"
 
@@ -13,28 +17,35 @@ using namespace graphm::dist;
 
 int main() {
   const auto g = graph::load_dataset("ukunion_s", bench_scale());
-  const auto jobs = runtime::paper_mix(32, g.num_vertices(), 0x21);
+  const auto jobs = runtime::paper_mix(64, g.num_vertices(), 0x21);
   const auto profiles = profile_jobs(g, jobs);
 
   struct Engine {
     const char* name;
+    cluster::Backend backend;
     RunEstimate (*run)(DistScheme, const std::vector<JobProfile>&, const graph::EdgeList&,
                        const ClusterConfig&);
   };
-  const Engine engines[] = {{"PowerGraph", run_powergraph}, {"Chaos", run_chaos}};
+  const Engine engines[] = {{"PowerGraph", cluster::Backend::kPowerGraph, run_powergraph},
+                            {"Chaos", cluster::Backend::kChaos, run_chaos}};
 
   bool shared_scales_best = true;
+  bool des_shared_scales_best = true;
   for (const Engine& engine : engines) {
     util::TablePrinter table(std::string("Figure 21: ") + engine.name +
                              " speedup vs nodes (64 jobs, ukunion_s)");
-    table.set_header({"nodes", "-S", "-C", "-M"});
+    table.set_header({"nodes", "-S", "-C", "-M", "-S des", "-C des", "-M des"});
     double base[3] = {0, 0, 0};
     double last[3] = {0, 0, 0};
+    double des_base[3] = {0, 0, 0};
+    double des_last[3] = {0, 0, 0};
     for (const std::size_t nodes : {64u, 80u, 96u, 112u, 128u}) {
       ClusterConfig cluster;
       cluster.num_nodes = nodes;
       cluster.num_groups = 1;
+      const cluster::Placement placement = cluster::vertex_cut_placement(g, nodes);
       std::vector<std::string> row{std::to_string(nodes)};
+      std::vector<std::string> des_cells;
       for (int k = 0; k < 3; ++k) {
         DistScheme scheme;
         scheme.kind = static_cast<DistScheme::Kind>(k);
@@ -42,13 +53,24 @@ int main() {
         if (nodes == 64) base[k] = estimate.seconds;
         last[k] = estimate.seconds;
         row.push_back(util::TablePrinter::fmt(base[k] / estimate.seconds));
+
+        const auto des =
+            cluster::des_run(engine.backend, scheme, profiles, g, cluster, {}, &placement);
+        if (nodes == 64) des_base[k] = des.seconds;
+        des_last[k] = des.seconds;
+        des_cells.push_back(util::TablePrinter::fmt(des_base[k] / des.seconds));
       }
+      for (auto& cell : des_cells) row.push_back(std::move(cell));
       table.add_row(std::move(row));
     }
     table.print();
-    // -M must remain the fastest in absolute terms at max scale.
+    // -M must remain the fastest in absolute terms at max scale, under both
+    // the analytic model and the DES.
     shared_scales_best = shared_scales_best && last[2] < last[0] && last[2] < last[1];
+    des_shared_scales_best =
+        des_shared_scales_best && des_last[2] < des_last[0] && des_last[2] < des_last[1];
   }
   print_shape("-M variants fastest at 128 nodes on both engines", shared_scales_best);
+  print_shape("-M variants fastest at 128 nodes under the DES", des_shared_scales_best);
   return 0;
 }

@@ -1,0 +1,284 @@
+#include "cluster/cluster_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <memory>
+
+namespace graphm::cluster {
+
+std::vector<graph::EdgeList> shard_by_source(const graph::EdgeList& graph,
+                                             std::size_t shards) {
+  const std::size_t count = std::max<std::size_t>(1, shards);
+  std::vector<graph::EdgeList> result;
+  result.reserve(count);
+  if (count == 1) {
+    result.emplace_back(graph.num_vertices(), graph.edges());
+    return result;
+  }
+  // Prefix out-degrees give the contiguous source ranges with ~equal edge
+  // counts; every shard keeps the full vertex space so roots stay valid.
+  std::vector<std::uint64_t> degree(graph.num_vertices() + 1, 0);
+  for (const graph::Edge& e : graph.edges()) ++degree[e.src + 1];
+  for (std::size_t v = 1; v < degree.size(); ++v) degree[v] += degree[v - 1];
+
+  std::vector<graph::VertexId> bounds;  // shard s covers [bounds[s], bounds[s+1])
+  bounds.push_back(0);
+  for (std::size_t s = 1; s < count; ++s) {
+    const std::uint64_t target = graph.num_edges() * s / count;
+    const auto it = std::lower_bound(degree.begin(), degree.end(), target);
+    auto boundary = static_cast<graph::VertexId>(it - degree.begin());
+    boundary = std::max(boundary, bounds.back());  // ranges stay monotone
+    bounds.push_back(std::min<graph::VertexId>(boundary, graph.num_vertices()));
+  }
+  bounds.push_back(graph.num_vertices());
+
+  // One bucketing pass: the prefix degrees give each shard's exact edge
+  // count up front, and a binary search on the (sorted) bounds places each
+  // edge. Duplicate bounds (clamped empty shards) resolve to the last shard
+  // whose range actually contains the source.
+  std::vector<std::vector<graph::Edge>> buckets(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    buckets[s].reserve(degree[bounds[s + 1]] - degree[bounds[s]]);
+  }
+  for (const graph::Edge& e : graph.edges()) {
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(), e.src);
+    buckets[static_cast<std::size_t>(it - bounds.begin()) - 1].push_back(e);
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    result.emplace_back(graph.num_vertices(), std::move(buckets[s]));
+  }
+  return result;
+}
+
+ClusterService::ClusterService(const graph::EdgeList& graph,
+                               std::vector<BackendConfig> backends,
+                               ClusterServiceConfig config)
+    : backends_(std::move(backends)), config_(std::move(config)) {
+  assert(!backends_.empty());
+  shards_ = shard_by_source(graph, backends_.size());
+  profile_cache_.resize(backends_.size());
+  placement_cache_.resize(backends_.size());
+}
+
+namespace {
+
+bool same_spec(const algos::JobSpec& a, const algos::JobSpec& b) {
+  return a.kind == b.kind && a.damping == b.damping &&
+         a.max_iterations == b.max_iterations && a.root == b.root;
+}
+
+struct PendingJob {
+  std::uint32_t id = 0;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t deadline_ns = 0;
+  const dist::JobProfile* profile = nullptr;
+};
+
+/// Per-backend serving state for one run(): admission queue + dispatch slots
+/// + sample accumulators. Event callbacks hold raw pointers into the run's
+/// deque, which never reallocates elements.
+struct BackendState {
+  std::uint32_t backend_id = 0;
+  const BackendConfig* config = nullptr;
+  std::unique_ptr<BackendSim> sim;
+
+  std::deque<PendingJob> ready;
+  std::deque<PendingJob> held;  // kBatchUntilK only
+  std::uint64_t batch_epoch = 0;
+  std::size_t running = 0;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::vector<std::uint64_t> queue_wait_ns;
+  std::vector<std::uint64_t> stream_ns;
+  std::vector<std::uint64_t> e2e_ns;
+  std::uint64_t first_arrival_ns = 0;
+  std::uint64_t last_completion_ns = 0;
+  bool saw_arrival = false;
+
+  [[nodiscard]] std::size_t queued() const { return ready.size() + held.size(); }
+  [[nodiscard]] std::size_t outstanding() const { return queued() + running; }
+};
+
+/// Index of the next job to dispatch under the backend's policy: EDF picks
+/// the tightest non-zero deadline (deadline-less jobs last, FIFO among
+/// equals); everything else is FIFO. `ready` is in arrival order.
+std::size_t pick_next(const BackendState& state) {
+  if (state.config->policy != service::AdmissionPolicy::kDeadline) return 0;
+  std::size_t best = 0;
+  auto key = [](const PendingJob& j) {
+    return j.deadline_ns == 0 ? std::numeric_limits<std::uint64_t>::max() : j.deadline_ns;
+  };
+  for (std::size_t i = 1; i < state.ready.size(); ++i) {
+    if (key(state.ready[i]) < key(state.ready[best])) best = i;
+  }
+  return best;
+}
+
+void try_dispatch(EventLoop& loop, BackendState& state);
+
+void dispatch_one(EventLoop& loop, BackendState& state, PendingJob job) {
+  ++state.running;
+  const std::uint64_t start_ns = loop.now_ns();
+  state.queue_wait_ns.push_back(start_ns - job.arrival_ns);
+  state.sim->start_job(job.id, *job.profile, [&loop, &state, job, start_ns] {
+    const std::uint64_t completion = loop.now_ns();
+    ++state.completed;
+    state.stream_ns.push_back(completion - start_ns);
+    state.e2e_ns.push_back(completion - job.arrival_ns);
+    state.last_completion_ns = std::max(state.last_completion_ns, completion);
+    if (job.deadline_ns != 0 && completion > job.deadline_ns) ++state.deadline_misses;
+    --state.running;
+    try_dispatch(loop, state);
+  });
+}
+
+void try_dispatch(EventLoop& loop, BackendState& state) {
+  while (state.running < std::max<std::size_t>(1, state.config->max_concurrent) &&
+         !state.ready.empty()) {
+    const std::size_t index = pick_next(state);
+    PendingJob job = state.ready[index];
+    state.ready.erase(state.ready.begin() + static_cast<std::ptrdiff_t>(index));
+    dispatch_one(loop, state, job);
+  }
+}
+
+void release_batch(EventLoop& loop, BackendState& state) {
+  ++state.batch_epoch;  // invalidates any pending flush timer
+  while (!state.held.empty()) {
+    state.ready.push_back(state.held.front());
+    state.held.pop_front();
+  }
+  try_dispatch(loop, state);
+}
+
+void admit(EventLoop& loop, BackendState& state, PendingJob job) {
+  ++state.submitted;
+  if (!state.saw_arrival) {
+    state.saw_arrival = true;
+    state.first_arrival_ns = loop.now_ns();
+  }
+  if (state.queued() >= std::max<std::size_t>(1, state.config->max_queue_depth)) {
+    ++state.rejected;
+    loop.trace(TraceCode::kJobRejected, state.backend_id, job.id, state.queued());
+    return;
+  }
+  if (state.config->policy == service::AdmissionPolicy::kBatchUntilK) {
+    state.held.push_back(job);
+    if (state.held.size() >= std::max<std::size_t>(1, state.config->batch_k)) {
+      release_batch(loop, state);
+    } else if (state.held.size() == 1) {
+      // The batch timer caps how long the oldest held job waits; a release
+      // in the meantime bumps the epoch and turns this into a no-op.
+      const std::uint64_t epoch = state.batch_epoch;
+      loop.schedule_after(state.config->batch_max_wait_ns, [&loop, &state, epoch] {
+        if (state.batch_epoch == epoch && !state.held.empty()) release_batch(loop, state);
+      });
+    }
+    return;
+  }
+  state.ready.push_back(job);
+  try_dispatch(loop, state);
+}
+
+}  // namespace
+
+const dist::JobProfile& ClusterService::profile_for(std::size_t backend,
+                                                    const algos::JobSpec& spec) {
+  std::deque<dist::JobProfile>& cache = profile_cache_[backend];
+  for (const dist::JobProfile& profile : cache) {
+    if (same_spec(profile.spec, spec)) return profile;
+  }
+  cache.push_back(dist::profile_job(shards_[backend], spec));
+  return cache.back();
+}
+
+std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& submissions) {
+  EventLoop loop(config_.des.seed, config_.des.record_trace);
+
+  std::deque<BackendState> states;
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    states.emplace_back();
+    BackendState& state = states.back();
+    state.backend_id = static_cast<std::uint32_t>(b);
+    state.config = &backends_[b];
+    if (placement_cache_[b].edge_share.empty()) {
+      placement_cache_[b] = vertex_cut_placement(shards_[b], backends_[b].num_nodes);
+    }
+    state.sim = std::make_unique<BackendSim>(
+        loop, static_cast<std::uint32_t>(b), backends_[b].num_nodes, shards_[b],
+        config_.node, config_.des, backends_[b].engine, backends_[b].shared_structure,
+        &placement_cache_[b]);
+  }
+
+  unroutable_ = 0;
+  std::uint32_t next_id = 0;
+  for (const Submission& submission : submissions) {
+    const std::uint32_t id = next_id++;
+    loop.schedule_at(submission.arrival_ns, [this, &loop, &states, &submission, id] {
+      // Routing: named datasets map to their backend; unnamed submissions go
+      // to the least-outstanding backend at arrival (ties: lowest index).
+      std::size_t target = states.size();
+      if (submission.dataset.empty()) {
+        target = 0;
+        for (std::size_t b = 1; b < states.size(); ++b) {
+          if (states[b].outstanding() < states[target].outstanding()) target = b;
+        }
+      } else {
+        for (std::size_t b = 0; b < states.size(); ++b) {
+          if (backends_[b].dataset == submission.dataset) {
+            target = b;
+            break;
+          }
+        }
+        if (target == states.size()) {
+          ++unroutable_;
+          return;
+        }
+      }
+      BackendState& state = states[target];
+      PendingJob job;
+      job.id = id;
+      job.arrival_ns = submission.arrival_ns;
+      job.deadline_ns = submission.deadline_ns;
+      job.profile = &profile_for(target, submission.spec);
+      admit(loop, state, job);
+    });
+  }
+
+  loop.run();
+
+  std::vector<BackendStats> report;
+  report.reserve(states.size());
+  for (std::size_t b = 0; b < states.size(); ++b) {
+    BackendState& state = states[b];
+    BackendStats stats;
+    stats.dataset = backends_[b].dataset;
+    stats.engine = backends_[b].engine;
+    stats.submitted = state.submitted;
+    stats.rejected = state.rejected;
+    stats.completed = state.completed;
+    stats.deadline_misses = state.deadline_misses;
+    stats.queue_wait = service::summarize_latency(std::move(state.queue_wait_ns));
+    stats.stream_time = service::summarize_latency(std::move(state.stream_ns));
+    stats.e2e = service::summarize_latency(std::move(state.e2e_ns));
+    stats.sustained_jobs_per_s = service::sustained_jobs_per_s(
+        state.completed, state.first_arrival_ns, state.last_completion_ns);
+    stats.structure_loads = state.sim->structure_loads();
+    stats.network_gb = state.sim->network_bytes() / 1e9;
+    stats.disk_gb = state.sim->disk_bytes() / 1e9;
+    stats.replication = state.sim->replication();
+    stats.feasible = state.sim->feasible();
+    report.push_back(std::move(stats));
+  }
+  last_trace_hash_ = loop.trace_hash();
+  last_events_ = loop.events_processed();
+  last_trace_ = loop.take_trace_records();
+  return report;
+}
+
+}  // namespace graphm::cluster

@@ -1,0 +1,143 @@
+// ClusterService — distributed serving over the discrete-event cluster: the
+// JobService story (open-loop arrivals, admission policies, SLO percentiles)
+// played out on simulated PowerGraph/Chaos/GraphM-per-node backends instead
+// of the local engine pool.
+//
+// The dataset is sharded by contiguous source ranges (balanced by edge
+// count), one shard per backend; a submission names its dataset shard and is
+// routed to the backend serving it (unnamed submissions go to the least
+// loaded backend at arrival). Each backend applies its own admission policy —
+// the same kImmediate / kBatchUntilK / kDeadline semantics as
+// service::AdmissionQueue, re-expressed event-driven — ahead of a bounded
+// dispatch-slot pool, and jobs then execute as message-level DES runs
+// (BackendSim): GraphM-per-node backends (shared_structure = true) load or
+// stream the shard once and attach later arrivals, private backends pay per
+// job. Per backend the service reports the same queue-wait / stream / e2e
+// p50-p95-p99 stats JobService emits, through the same service_stats
+// machinery (service::LatencySummary / summarize_latency).
+//
+// Everything runs on the simulated clock: run() takes the full arrival
+// schedule, plays it deterministically, and returns the per-backend report —
+// same seed, same submissions, bit-identical trace.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cluster/des_engine.hpp"
+#include "graph/edge_list.hpp"
+#include "service/admission.hpp"
+#include "service/service_stats.hpp"
+
+namespace graphm::cluster {
+
+/// One serving backend: a node slice running one engine kind over one dataset
+/// shard, behind its own admission queue.
+struct BackendConfig {
+  std::string dataset;  // routing key; must be unique across backends
+  Backend engine = Backend::kPowerGraph;
+  /// GraphM on the backend: one resident structure / one shared stream that
+  /// arrivals attach to. False prices the engine's native per-job loading.
+  bool shared_structure = true;
+  std::size_t num_nodes = 16;
+  /// Dispatch slots: jobs running concurrently on the backend (its worker
+  /// pool). Queued jobs wait under the admission policy.
+  std::size_t max_concurrent = 8;
+  std::size_t max_queue_depth = 1024;  // backpressure bound, JobService-style
+  service::AdmissionPolicy policy = service::AdmissionPolicy::kImmediate;
+  std::size_t batch_k = 4;
+  std::uint64_t batch_max_wait_ns = 50'000'000;
+};
+
+struct ClusterServiceConfig {
+  /// Per-node hardware (memory, disk/net bandwidth, cores). num_nodes and
+  /// num_groups are ignored — BackendConfig::num_nodes sizes each backend.
+  dist::ClusterConfig node;
+  DesConfig des;
+};
+
+/// One JobService-style submission on the simulated clock.
+struct Submission {
+  algos::JobSpec spec;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t deadline_ns = 0;  // absolute sim-clock deadline; 0 = none
+  std::string dataset;            // empty = route to the least-loaded backend
+};
+
+/// Per-backend SLO report — the ServiceStats view of one simulated backend.
+struct BackendStats {
+  std::string dataset;
+  Backend engine = Backend::kPowerGraph;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  // admission backpressure
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+
+  service::LatencySummary queue_wait;   // dispatch − arrival
+  service::LatencySummary stream_time;  // completion − dispatch
+  service::LatencySummary e2e;          // completion − arrival
+
+  double sustained_jobs_per_s = 0.0;  // completed over [first arrival, last completion]
+  double structure_loads = 0.0;
+  double network_gb = 0.0;
+  double disk_gb = 0.0;
+  double replication = 1.0;
+  bool feasible = true;
+};
+
+/// Shards `graph` into `shards` edge lists by contiguous source ranges,
+/// balanced by edge count. Every shard keeps the full vertex id space so any
+/// root remains addressable; shard i holds the edges whose source falls in
+/// its range (the grid's partition rows, coarsened).
+std::vector<graph::EdgeList> shard_by_source(const graph::EdgeList& graph,
+                                             std::size_t shards);
+
+class ClusterService {
+ public:
+  /// Shards `graph` across `backends` in order (one shard per backend) and
+  /// prepares the routing table. Backend dataset names must be non-empty and
+  /// unique.
+  ClusterService(const graph::EdgeList& graph, std::vector<BackendConfig> backends,
+                 ClusterServiceConfig config);
+
+  [[nodiscard]] std::size_t num_backends() const { return backends_.size(); }
+  [[nodiscard]] const graph::EdgeList& shard(std::size_t backend) const {
+    return shards_[backend];
+  }
+
+  /// Plays the full arrival schedule on a fresh simulated cluster and
+  /// returns per-backend stats. Deterministic in (submissions, config seed);
+  /// callable repeatedly, each run independent. Submissions naming an
+  /// unknown dataset are dropped and counted in unroutable().
+  std::vector<BackendStats> run(const std::vector<Submission>& submissions);
+
+  [[nodiscard]] std::uint64_t unroutable() const { return unroutable_; }
+  /// Determinism witnesses of the last run().
+  [[nodiscard]] std::uint64_t last_trace_hash() const { return last_trace_hash_; }
+  [[nodiscard]] std::uint64_t last_events() const { return last_events_; }
+  [[nodiscard]] const std::vector<TraceRecord>& last_trace() const { return last_trace_; }
+
+ private:
+  /// One dist::JobProfile per distinct spec a backend has served, measured
+  /// against its shard. Persisted across run() calls (profiles depend only on
+  /// the shard); deque keeps addresses stable for in-flight references.
+  const dist::JobProfile& profile_for(std::size_t backend, const algos::JobSpec& spec);
+
+  std::vector<BackendConfig> backends_;
+  ClusterServiceConfig config_;
+  std::vector<graph::EdgeList> shards_;
+  std::vector<std::deque<dist::JobProfile>> profile_cache_;
+  /// Vertex-cut per backend (shard × node count are fixed at construction),
+  /// computed lazily on the first run() and reused — placement is two full
+  /// shard scans. Empty edge_share = not yet computed.
+  std::vector<Placement> placement_cache_;
+
+  std::uint64_t unroutable_ = 0;
+  std::uint64_t last_trace_hash_ = 0;
+  std::uint64_t last_events_ = 0;
+  std::vector<TraceRecord> last_trace_;
+};
+
+}  // namespace graphm::cluster

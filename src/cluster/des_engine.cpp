@@ -1,0 +1,396 @@
+#include "cluster/des_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphm::cluster {
+
+namespace {
+/// Disk/NIC owner id of the shared Chaos stream: all riders' reads are ONE
+/// stream, so it must never pay a seek against itself.
+constexpr std::uint32_t kSharedStreamOwner = 0x7FFFFFFEu;
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kPowerGraph: return "PowerGraph";
+    case Backend::kChaos: return "Chaos";
+  }
+  return "?";
+}
+
+double Placement::max_share() const {
+  double best = 0.0;
+  for (const double share : edge_share) best = std::max(best, share);
+  return best;
+}
+
+Placement vertex_cut_placement(const graph::EdgeList& graph, std::size_t num_nodes) {
+  Placement placement;
+  const std::size_t m = std::max<std::size_t>(1, num_nodes);
+  placement.edge_share.assign(m, 0.0);
+  if (graph.num_edges() == 0) {
+    for (double& share : placement.edge_share) share = 1.0 / static_cast<double>(m);
+    return placement;
+  }
+  std::vector<std::uint64_t> counts(m, 0);
+  for (const graph::Edge& e : graph.edges()) ++counts[dist::edge_placement_node(e, m)];
+  for (std::size_t n = 0; n < m; ++n) {
+    placement.edge_share[n] =
+        static_cast<double>(counts[n]) / static_cast<double>(graph.num_edges());
+  }
+  placement.replication = dist::replication_factor(graph, m);
+  return placement;
+}
+
+struct BackendSim::JobRun {
+  std::uint32_t id = 0;
+  const dist::JobProfile* profile = nullptr;
+  std::function<void()> on_complete;
+  /// Supersteps completed — the job's own iteration privately, supersteps
+  /// ridden since attach on the shared Chaos stream.
+  std::size_t iter = 0;
+  /// This job ingested a private structure replica (PowerGraph, sharing
+  /// off) that completion must release. Zero-iteration jobs never take one.
+  bool holds_structure = false;
+};
+
+BackendSim::BackendSim(EventLoop& loop, std::uint32_t backend_id, std::size_t num_nodes,
+                       const graph::EdgeList& graph, const dist::ClusterConfig& node_params,
+                       const DesConfig& des, Backend engine, bool shared_structure,
+                       const Placement* placement)
+    : loop_(loop),
+      backend_id_(backend_id),
+      node_params_(node_params),
+      des_(des),
+      engine_(engine),
+      shared_structure_(shared_structure),
+      structure_bytes_(static_cast<double>(graph.num_edges()) * sizeof(graph::Edge)),
+      vertex_bytes_(static_cast<double>(graph.num_vertices()) * dist::kVertexValueBytes),
+      placement_(placement != nullptr ? *placement
+                                      : vertex_cut_placement(graph, num_nodes)),
+      network_(loop, std::max<std::size_t>(1, num_nodes),
+               node_params.net_bandwidth_bytes_per_s, des.net_latency_ns) {
+  const std::size_t m = std::max<std::size_t>(1, num_nodes);
+  nodes_.reserve(m);
+  for (std::size_t n = 0; n < m; ++n) {
+    nodes_.push_back(std::make_unique<SimNode>(
+        loop_, node_params.disk_bandwidth_bytes_per_s, des.disk_switch_ns));
+  }
+}
+
+BackendSim::~BackendSim() = default;
+
+double BackendSim::disk_bytes() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node->disk.total_bytes();
+  return total;
+}
+
+std::uint64_t BackendSim::compute_ns(const dist::JobProfile& profile, std::size_t iter,
+                                     std::size_t node) {
+  // The node fans its slice of the iteration's active edges across its cores;
+  // hash imbalance (edge_share spread) plus the seeded jitter is what makes
+  // one node the barrier's straggler.
+  const double edges =
+      static_cast<double>(profile.active_edges[iter]) * placement_.edge_share[node];
+  const double seconds = edges * dist::kEdgeComputeSeconds /
+                         static_cast<double>(std::max<std::size_t>(1, node_params_.cores_per_node));
+  return loop_.jittered(static_cast<std::uint64_t>(seconds * 1e9), des_.compute_jitter);
+}
+
+void BackendSim::check_memory() {
+  if (engine_ == Backend::kChaos) return;  // out-of-core: nothing resident
+  const auto m = static_cast<double>(nodes_.size());
+  const double structure_per_node =
+      (structure_bytes_ + placement_.replication * vertex_bytes_) / m;
+  const double job_per_node = placement_.replication * vertex_bytes_ / m;
+  const double per_node = static_cast<double>(resident_structures_) * structure_per_node +
+                          static_cast<double>(jobs_running_) * job_per_node;
+  if (per_node > static_cast<double>(node_params_.node_memory_bytes)) feasible_ = false;
+}
+
+void BackendSim::start_job(std::uint32_t job_id, const dist::JobProfile& profile,
+                           std::function<void()> on_complete) {
+  jobs_.push_back(std::make_unique<JobRun>());
+  JobRun* job = jobs_.back().get();
+  job->id = job_id;
+  job->profile = &profile;
+  job->on_complete = std::move(on_complete);
+  ++jobs_running_;
+  loop_.trace(TraceCode::kJobDispatched, backend_id_, job_id,
+              static_cast<std::uint64_t>(nodes_.size()));
+
+  if (profile.iterations() == 0) {
+    complete(job);
+    return;
+  }
+
+  if (engine_ == Backend::kChaos) {
+    if (shared_structure_) {
+      attach_shared_stream(job);
+    } else {
+      private_superstep(job);
+    }
+    return;
+  }
+
+  // PowerGraph: the structure must be resident before supersteps start.
+  if (shared_structure_) {
+    const bool first_load = structure_ == Structure::kAbsent;
+    if (first_load) {
+      structure_ = Structure::kLoading;
+      resident_structures_ = 1;  // stays resident for every later arrival
+    }
+    // Every arrival adds its replicated vertex data to the nodes, so the
+    // footprint is re-evaluated per job — not just when the loader starts —
+    // matching the analytic engine's k * job_mem_per_node term.
+    check_memory();
+    if (structure_ == Structure::kResident) {
+      begin_supersteps(job);
+    } else {
+      ingest_waiters_.push_back(job);
+      if (first_load) begin_ingest(job);
+    }
+  } else {
+    ++resident_structures_;  // private replica, released at completion
+    job->holds_structure = true;
+    check_memory();
+    begin_ingest(job);
+  }
+}
+
+void BackendSim::begin_ingest(JobRun* job) {
+  structure_loads_ += 1.0;
+  const std::size_t m = nodes_.size();
+  auto barrier = std::make_shared<Countdown>(m, [this, job] {
+    loop_.trace(TraceCode::kIngestDone, backend_id_, job->id,
+                static_cast<std::uint64_t>(structure_loads_));
+    if (shared_structure_) {
+      structure_ = Structure::kResident;
+      // Everyone who arrived during the load attaches at once — the
+      // open-loop "first job loads, later jobs share" of Algorithm 2.
+      std::vector<JobRun*> waiters;
+      waiters.swap(ingest_waiters_);
+      for (JobRun* waiter : waiters) begin_supersteps(waiter);
+    } else {
+      begin_supersteps(job);
+    }
+  });
+  // Per node: read the hashed slice from the local disk, then shuffle it to
+  // its cut position — modeled as one ring transfer of the slice, which
+  // occupies every egress and ingress link with exactly the slice's bytes
+  // (the balanced all-to-all a vertex-cut build performs).
+  for (std::size_t n = 0; n < m; ++n) {
+    const double bytes = structure_bytes_ * placement_.edge_share[n];
+    const auto src = static_cast<std::uint32_t>(n);
+    const auto dst = static_cast<std::uint32_t>((n + 1) % m);
+    nodes_[n]->disk.submit(job->id, bytes, [this, job, src, dst, bytes, barrier] {
+      network_.transfer(src, dst, job->id, bytes, [barrier] { barrier->arrive(); });
+    });
+  }
+}
+
+void BackendSim::begin_supersteps(JobRun* job) { private_superstep(job); }
+
+void BackendSim::private_superstep(JobRun* job) {
+  const dist::JobProfile& profile = *job->profile;
+  if (job->iter >= profile.iterations()) {
+    complete(job);
+    return;
+  }
+  const std::size_t m = nodes_.size();
+  const std::size_t iter = job->iter;
+  if (engine_ == Backend::kChaos) structure_loads_ += 1.0;  // one full-graph stream
+
+  auto barrier = std::make_shared<Countdown>(m, [this, job] {
+    loop_.trace(TraceCode::kSuperstep, backend_id_, job->id, job->iter);
+    loop_.schedule_after(des_.superstep_overhead_ns, [this, job] {
+      ++job->iter;
+      private_superstep(job);
+    });
+  });
+
+  // Replica synchronization: every active vertex's value crosses the cut
+  // once per replica (PowerGraph, factor r); Chaos exchanges only the plain
+  // update stream (factor 1) — its cost lives on the disks.
+  const double sync_factor =
+      engine_ == Backend::kPowerGraph ? placement_.replication : 1.0;
+  const double sync_total = sync_factor *
+                            static_cast<double>(profile.active_vertices[iter]) *
+                            dist::kVertexValueBytes;
+  for (std::size_t n = 0; n < m; ++n) {
+    const auto src = static_cast<std::uint32_t>(n);
+    const auto dst = static_cast<std::uint32_t>((n + 1) % m);
+    const double sync_bytes = sync_total / static_cast<double>(m);
+    const auto compute_then_sync = [this, job, iter, n, src, dst, sync_bytes, barrier] {
+      nodes_[n]->cores.submit(
+          job->id, compute_ns(*job->profile, iter, n),
+          [this, job, src, dst, sync_bytes, barrier] {
+            network_.transfer(src, dst, job->id, sync_bytes,
+                              [barrier] { barrier->arrive(); });
+          });
+    };
+    if (engine_ == Backend::kChaos) {
+      // Chaos re-streams the node's whole slice every iteration; concurrent
+      // private streams interleave on the disk and pay the seek.
+      nodes_[n]->disk.submit(job->id, structure_bytes_ * placement_.edge_share[n],
+                             compute_then_sync);
+    } else {
+      compute_then_sync();
+    }
+  }
+}
+
+void BackendSim::attach_shared_stream(JobRun* job) {
+  // Joins at the next superstep boundary (mid-stream attach): the running
+  // superstep's riders are fixed once its disk reads are in flight.
+  stream_pending_.push_back(job);
+  if (!stream_running_) {
+    stream_running_ = true;
+    shared_superstep();
+  }
+}
+
+void BackendSim::shared_superstep() {
+  for (JobRun* job : stream_pending_) stream_attached_.push_back(job);
+  stream_pending_.clear();
+  if (stream_attached_.empty()) {
+    stream_running_ = false;
+    return;
+  }
+  structure_loads_ += 1.0;  // all riders share this full-graph pass
+  const std::size_t m = nodes_.size();
+  const std::uint64_t superstep = stream_supersteps_++;
+
+  auto barrier = std::make_shared<Countdown>(m, [this, superstep] {
+    loop_.trace(TraceCode::kSuperstep, backend_id_, kSharedStreamOwner, superstep);
+    loop_.schedule_after(des_.superstep_overhead_ns, [this] {
+      // Advance every rider one superstep; finished jobs leave the stream
+      // before the next pass begins (they never hold it open).
+      std::vector<JobRun*> still_riding;
+      still_riding.reserve(stream_attached_.size());
+      for (JobRun* job : stream_attached_) {
+        ++job->iter;
+        if (job->iter >= job->profile->iterations()) {
+          complete(job);
+        } else {
+          still_riding.push_back(job);
+        }
+      }
+      stream_attached_.swap(still_riding);
+      shared_superstep();
+    });
+  });
+
+  for (std::size_t n = 0; n < m; ++n) {
+    const auto src = static_cast<std::uint32_t>(n);
+    const auto dst = static_cast<std::uint32_t>((n + 1) % m);
+    nodes_[n]->disk.submit(
+        kSharedStreamOwner, structure_bytes_ * placement_.edge_share[n],
+        [this, n, src, dst, barrier] {
+          // Every rider computes over the streamed slice; the node leaves for
+          // the barrier when its slowest rider has computed and the node's
+          // aggregated update exchange is delivered.
+          auto riders_done = std::make_shared<Countdown>(
+              stream_attached_.size(), [this, src, dst, barrier] {
+                double sync_bytes = 0.0;
+                for (JobRun* job : stream_attached_) {
+                  sync_bytes +=
+                      static_cast<double>(job->profile->active_vertices[job->iter]) *
+                      dist::kVertexValueBytes / static_cast<double>(nodes_.size());
+                }
+                network_.transfer(src, dst, kSharedStreamOwner, sync_bytes,
+                                  [barrier] { barrier->arrive(); });
+              });
+          for (JobRun* job : stream_attached_) {
+            nodes_[n]->cores.submit(job->id, compute_ns(*job->profile, job->iter, n),
+                                    [riders_done] { riders_done->arrive(); });
+          }
+        });
+  }
+}
+
+void BackendSim::complete(JobRun* job) {
+  loop_.trace(TraceCode::kJobComplete, backend_id_, job->id, loop_.now_ns());
+  if (jobs_running_ > 0) --jobs_running_;
+  if (job->holds_structure && resident_structures_ > 0) {
+    --resident_structures_;  // the private replica is dropped
+  }
+  if (job->on_complete) job->on_complete();
+}
+
+DesEstimate des_run(Backend backend, dist::DistScheme scheme,
+                    const std::vector<dist::JobProfile>& profiles,
+                    const graph::EdgeList& graph, const dist::ClusterConfig& cluster,
+                    const DesConfig& config, const Placement* hoisted) {
+  DesEstimate estimate;
+  if (profiles.empty() || cluster.num_nodes == 0) return estimate;
+
+  EventLoop loop(config.seed, config.record_trace);
+  const std::size_t groups = std::max<std::size_t>(1, cluster.num_groups);
+  const std::size_t m = std::max<std::size_t>(1, cluster.num_nodes / groups);
+  const bool shared = scheme.kind == dist::DistScheme::kShared;
+  // Every group is the same width, so the vertex-cut (two full edge scans)
+  // is computed at most once per call and shared by all group sims.
+  const Placement placement =
+      hoisted != nullptr ? *hoisted : vertex_cut_placement(graph, m);
+
+  estimate.job_completion_s.assign(profiles.size(), 0.0);
+  std::vector<std::unique_ptr<BackendSim>> sims;
+  // Sequential chains: one continuation per group. The deque owns them and
+  // outlives loop.run(); closures capture raw pointers, never owners (a
+  // self-referential shared_ptr would leak the closure).
+  std::deque<std::function<void(std::size_t)>> chains;
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::vector<std::size_t> jobs = dist::group_jobs(profiles.size(), groups, g);
+    if (jobs.empty()) continue;
+    sims.push_back(std::make_unique<BackendSim>(loop, static_cast<std::uint32_t>(g), m,
+                                                graph, cluster, config, backend, shared,
+                                                &placement));
+    BackendSim* sim = sims.back().get();
+
+    if (scheme.kind == dist::DistScheme::kSequential) {
+      chains.emplace_back();
+      std::function<void(std::size_t)>* chain = &chains.back();
+      *chain = [&loop, &estimate, &profiles, sim, jobs, chain](std::size_t index) {
+        if (index >= jobs.size()) return;
+        const std::size_t j = jobs[index];
+        sim->start_job(static_cast<std::uint32_t>(j), profiles[j],
+                       [&loop, &estimate, chain, index, j] {
+                         estimate.job_completion_s[j] =
+                             static_cast<double>(loop.now_ns()) / 1e9;
+                         (*chain)(index + 1);
+                       });
+      };
+      loop.schedule_at(0, [chain] { (*chain)(0); });
+    } else {
+      for (const std::size_t j : jobs) {
+        loop.schedule_at(0, [&loop, &estimate, &profiles, sim, j] {
+          sim->start_job(static_cast<std::uint32_t>(j), profiles[j], [&loop, &estimate, j] {
+            estimate.job_completion_s[j] = static_cast<double>(loop.now_ns()) / 1e9;
+          });
+        });
+      }
+    }
+  }
+
+  loop.run();
+
+  for (const double t : estimate.job_completion_s) {
+    estimate.seconds = std::max(estimate.seconds, t);
+  }
+  for (const auto& sim : sims) {
+    estimate.feasible = estimate.feasible && sim->feasible();
+    estimate.structure_loads += sim->structure_loads();
+    estimate.disk_gb += sim->disk_bytes() / 1e9;
+    estimate.network_gb += sim->network_bytes() / 1e9;
+  }
+  estimate.events = loop.events_processed();
+  estimate.trace_hash = loop.trace_hash();
+  estimate.trace = loop.take_trace_records();
+  return estimate;
+}
+
+}  // namespace graphm::cluster

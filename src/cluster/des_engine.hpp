@@ -1,0 +1,186 @@
+// Message-level discrete-event simulation of the paper's distributed systems
+// (PowerGraph and Chaos under the -S/-C/-M schemes) — the event-driven twin
+// of the closed-form engines in src/dist/.
+//
+// The analytic engines divide aggregate work by aggregate bandwidth; here the
+// same dist::JobProfile demand is *scheduled*: every node computes its own
+// hashed edge share, every structure load and replica-sync round is a set of
+// pairwise transfers on per-link bandwidth, every iteration ends at a
+// superstep barrier, and concurrent jobs contend on the per-node FIFO disks,
+// NICs and core complexes. Interference (-C streams seeking past each other),
+// stragglers (hash imbalance x seeded service jitter) and sharing wins (-M's
+// single structure movement) therefore emerge from messages instead of being
+// priced by closed-form terms — the ROADMAP's "sweep message-level effects"
+// item. The analytic engines remain the fast path; on single-bottleneck
+// configurations with the noise knobs zeroed the DES agrees with them within
+// a small tolerance (the anchor tests in tests/test_cluster.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/event_loop.hpp"
+#include "cluster/resources.hpp"
+#include "dist/cluster_model.hpp"
+
+namespace graphm::cluster {
+
+enum class Backend : int { kPowerGraph = 0, kChaos = 1 };
+
+const char* backend_name(Backend backend);
+
+/// DES noise/cost knobs. The defaults are bench-scale plausible; the anchor
+/// tests zero them so the simulation collapses onto the analytic model.
+struct DesConfig {
+  std::uint64_t seed = 0x5EED;
+  /// ± multiplicative service-time noise on compute tasks (seeded; disks and
+  /// links stay deterministic so scheme orderings are never jitter artifacts).
+  double compute_jitter = 0.02;
+  /// Seek charged when a node's disk switches between different streams —
+  /// what makes Chaos-C's interleaved full-graph streams slower than
+  /// back-to-back (-S), the paper's Table-4 inversion, emerge. Must stay
+  /// well above superstep_overhead_ns: -C hides per-job barrier overheads
+  /// that -S serializes, and the seek is what it pays in exchange.
+  std::uint64_t disk_switch_ns = 500'000;
+  std::uint64_t net_latency_ns = 50'000;
+  /// Per-superstep synchronization cost beyond the messages themselves
+  /// (master coordination, barrier bookkeeping).
+  std::uint64_t superstep_overhead_ns = 100'000;
+  bool record_trace = false;
+};
+
+/// Deterministic vertex-cut placement: per-node edge shares under the same
+/// hash replication_factor uses, plus that factor itself. The share spread is
+/// the straggler profile — the slowest node of every superstep barrier.
+struct Placement {
+  std::vector<double> edge_share;   // fraction of the graph's edges per node
+  double replication = 1.0;         // dist::replication_factor at this width
+
+  [[nodiscard]] double max_share() const;
+};
+
+Placement vertex_cut_placement(const graph::EdgeList& graph, std::size_t num_nodes);
+
+/// One simulated backend: `num_nodes` machines running one engine kind,
+/// optionally sharing the graph structure across resident jobs (GraphM on the
+/// backend). Used by des_run for the batch schemes and by ClusterService for
+/// open-loop serving — start_job() is the only entry point either needs.
+///
+/// PowerGraph semantics: a job needs the structure resident (ingest: per-node
+/// disk read + shuffle). Private mode ingests per job; shared mode ingests
+/// once — later jobs attach, and the structure stays resident for future
+/// arrivals. Supersteps: per-node compute then replica sync (r·|active|·Uv
+/// bytes over the links) then barrier.
+/// Chaos semantics: nothing resident; every superstep streams each node's
+/// slice from its disk. Private mode streams per job (concurrent jobs seek
+/// past each other); shared mode runs one stream loop all resident jobs ride,
+/// attaching at superstep boundaries — the graph moves max(iterations) times
+/// instead of sum(iterations).
+class BackendSim {
+ public:
+  /// `placement` (optional) supplies a precomputed vertex-cut for
+  /// (graph, num_nodes) — it must match both; nullptr computes it here.
+  /// Placement is two full edge scans, so callers running many sims over the
+  /// same graph/width (des_run's groups, node sweeps) should hoist it.
+  BackendSim(EventLoop& loop, std::uint32_t backend_id, std::size_t num_nodes,
+             const graph::EdgeList& graph, const dist::ClusterConfig& node_params,
+             const DesConfig& des, Backend engine, bool shared_structure,
+             const Placement* placement = nullptr);
+  ~BackendSim();
+
+  BackendSim(const BackendSim&) = delete;
+  BackendSim& operator=(const BackendSim&) = delete;
+
+  /// Starts `profile` as job `job_id` at the loop's current time;
+  /// `on_complete` fires at the job's final superstep barrier. `profile`
+  /// must outlive the run. Infeasible placements (structure + job data
+  /// exceeding node memory) still run but clear feasible().
+  void start_job(std::uint32_t job_id, const dist::JobProfile& profile,
+                 std::function<void()> on_complete);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] double replication() const { return placement_.replication; }
+  [[nodiscard]] bool feasible() const { return feasible_; }
+  /// Times the structure moved: PowerGraph ingests or Chaos full-graph
+  /// streams — the redundancy -M removes.
+  [[nodiscard]] double structure_loads() const { return structure_loads_; }
+  [[nodiscard]] double disk_bytes() const;
+  [[nodiscard]] double network_bytes() const { return network_.total_bytes(); }
+
+ private:
+  struct JobRun;
+
+  void begin_ingest(JobRun* job);
+  void begin_supersteps(JobRun* job);
+  void private_superstep(JobRun* job);
+  void attach_shared_stream(JobRun* job);
+  void shared_superstep();
+  void complete(JobRun* job);
+
+  [[nodiscard]] std::uint64_t compute_ns(const dist::JobProfile& profile, std::size_t iter,
+                                         std::size_t node);
+  /// Re-evaluates the per-node resident footprint against node memory and
+  /// latches feasible_ = false on overflow (Table 4's "-" rows).
+  void check_memory();
+
+  EventLoop& loop_;
+  std::uint32_t backend_id_;
+  dist::ClusterConfig node_params_;
+  DesConfig des_;
+  Backend engine_;
+  bool shared_structure_;
+
+  double structure_bytes_ = 0.0;
+  double vertex_bytes_ = 0.0;  // |V| * Uv
+  Placement placement_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  Network network_;
+
+  std::vector<std::unique_ptr<JobRun>> jobs_;
+  std::size_t jobs_running_ = 0;
+  bool feasible_ = true;
+  double structure_loads_ = 0.0;
+
+  // PowerGraph shared-structure state.
+  enum class Structure { kAbsent, kLoading, kResident };
+  Structure structure_ = Structure::kAbsent;
+  std::vector<JobRun*> ingest_waiters_;
+  std::size_t resident_structures_ = 0;
+
+  // Chaos shared-stream state.
+  bool stream_running_ = false;
+  std::uint64_t stream_supersteps_ = 0;
+  std::vector<JobRun*> stream_attached_;
+  std::vector<JobRun*> stream_pending_;
+};
+
+/// Result of one batch DES run — RunEstimate's fields plus the determinism
+/// witnesses (event count, trace hash, optional full trace) and per-job
+/// completion times.
+struct DesEstimate {
+  double seconds = 0.0;
+  bool feasible = true;
+  double structure_loads = 0.0;
+  double network_gb = 0.0;
+  double disk_gb = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t trace_hash = 0;
+  std::vector<TraceRecord> trace;        // populated when DesConfig::record_trace
+  std::vector<double> job_completion_s;  // indexed like `profiles`
+};
+
+/// The DES twin of dist::run_powergraph / dist::run_chaos: same profiles,
+/// same ClusterConfig (num_groups slices the nodes exactly like the analytic
+/// engines; groups are resource-disjoint), same scheme semantics — -S chains
+/// job starts, -C starts every job at t=0 with private structures, -M starts
+/// every job at t=0 against one shared structure/stream. `placement`
+/// (optional) must be the vertex_cut_placement of (graph, nodes/groups);
+/// node-sweep callers hoist it across the schemes of one width.
+DesEstimate des_run(Backend backend, dist::DistScheme scheme,
+                    const std::vector<dist::JobProfile>& profiles,
+                    const graph::EdgeList& graph, const dist::ClusterConfig& cluster,
+                    const DesConfig& config = {}, const Placement* placement = nullptr);
+
+}  // namespace graphm::cluster

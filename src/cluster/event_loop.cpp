@@ -1,0 +1,37 @@
+#include "cluster/event_loop.hpp"
+
+namespace graphm::cluster {
+
+void EventLoop::schedule_at(std::uint64_t t_ns, std::function<void()> fn) {
+  queue_.push(Event{t_ns < now_ns_ ? now_ns_ : t_ns, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; moving the callback out before pop is
+    // safe because the comparator never touches `fn`.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ns_ = event.t_ns;
+    ++events_processed_;
+    event.fn();
+  }
+}
+
+void EventLoop::trace(TraceCode code, std::uint32_t actor, std::uint32_t job,
+                      std::uint64_t detail) {
+  const TraceRecord record{now_ns_, code, actor, job, detail};
+  const auto mix = [this](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      trace_hash_ ^= (v >> (8 * byte)) & 0xFF;
+      trace_hash_ *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  mix(record.t_ns);
+  mix(static_cast<std::uint64_t>(record.code));
+  mix((std::uint64_t{record.actor} << 32) | record.job);
+  mix(record.detail);
+  if (record_trace_) trace_records_.push_back(record);
+}
+
+}  // namespace graphm::cluster

@@ -1,0 +1,116 @@
+// Deterministic discrete-event core of the cluster subsystem (src/cluster/).
+//
+// Everything the simulated cluster does — disk reads, pairwise network
+// transfers, per-node compute, superstep barriers, job arrivals — is an event
+// on one simulated clock. Events fire in (time, schedule order): ties break
+// by the order schedule_*() was called, which is itself a pure function of
+// earlier events, so a run is a deterministic function of (inputs, seed).
+// There is no wall clock, no threads, and no address-dependent state anywhere
+// in the loop, which is what makes the event trace reproducible bit for bit —
+// the property tests/test_cluster.cpp pins and docs/cluster.md documents as
+// the determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace graphm::cluster {
+
+/// What a trace record describes. Records are emitted at coarse simulation
+/// milestones (not per message), so a trace stays small while still capturing
+/// the full ordering and timing of the run.
+enum class TraceCode : std::uint32_t {
+  kJobDispatched = 1,  // job handed to a backend (detail: backend id)
+  kIngestDone = 2,     // structure resident on the backend (detail: loads so far)
+  kSuperstep = 3,      // a superstep barrier completed (detail: iteration)
+  kJobComplete = 4,    // job's final barrier (detail: completion time ns)
+  kJobRejected = 5,    // admission backpressure (detail: queue depth)
+};
+
+/// One entry of the reproducible event trace. POD with defaulted equality:
+/// two runs agree iff their record vectors compare equal.
+struct TraceRecord {
+  std::uint64_t t_ns = 0;
+  TraceCode code{};
+  std::uint32_t actor = 0;  // backend or node id, code-specific
+  std::uint32_t job = 0;
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class EventLoop {
+ public:
+  /// `seed` feeds the loop's RNG (service-time jitter, arrival synthesis);
+  /// `record_trace` keeps the full TraceRecord vector (the FNV hash is
+  /// accumulated regardless, so cheap determinism checks never pay for
+  /// storage).
+  explicit EventLoop(std::uint64_t seed, bool record_trace = false)
+      : rng_(seed), record_trace_(record_trace) {}
+
+  [[nodiscard]] std::uint64_t now_ns() const { return now_ns_; }
+
+  void schedule_at(std::uint64_t t_ns, std::function<void()> fn);
+  void schedule_after(std::uint64_t delay_ns, std::function<void()> fn) {
+    schedule_at(now_ns_ + delay_ns, std::move(fn));
+  }
+
+  /// Fires events in (time, schedule order) until the queue is empty. The
+  /// clock never goes backwards: events scheduled in the past fire "now".
+  void run();
+
+  [[nodiscard]] util::SplitMix64& rng() { return rng_; }
+
+  /// `base_ns` stretched by a uniform draw from [1-fraction, 1+fraction) —
+  /// the seeded service-time noise that makes stragglers emerge without
+  /// breaking reproducibility. fraction <= 0 returns base_ns and consumes no
+  /// randomness (the analytic-anchor configuration).
+  [[nodiscard]] std::uint64_t jittered(std::uint64_t base_ns, double fraction) {
+    if (fraction <= 0.0 || base_ns == 0) return base_ns;
+    const double factor = rng_.next_double(1.0 - fraction, 1.0 + fraction);
+    return static_cast<std::uint64_t>(static_cast<double>(base_ns) * factor);
+  }
+
+  void trace(TraceCode code, std::uint32_t actor, std::uint32_t job, std::uint64_t detail);
+
+  /// FNV-1a over every trace record, accumulated as they are emitted. Two
+  /// runs with equal hashes (and equal record counts) took the same path at
+  /// the same times.
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+  [[nodiscard]] const std::vector<TraceRecord>& trace_records() const { return trace_records_; }
+  /// Moves the trace out (for callers that outlive the loop — a traced sweep
+  /// is easily 10^5+ records, not worth deep-copying off a dying loop).
+  [[nodiscard]] std::vector<TraceRecord> take_trace_records() {
+    return std::move(trace_records_);
+  }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    std::uint64_t t_ns = 0;
+    std::uint64_t seq = 0;  // total order among equal-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t_ns != b.t_ns) return a.t_ns > b.t_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t now_ns_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  util::SplitMix64 rng_;
+
+  bool record_trace_ = false;
+  std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV-1a offset basis
+  std::vector<TraceRecord> trace_records_;
+};
+
+}  // namespace graphm::cluster

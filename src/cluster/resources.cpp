@@ -1,0 +1,53 @@
+#include "cluster/resources.hpp"
+
+namespace graphm::cluster {
+
+FifoServer::Reservation FifoServer::submit(std::uint32_t owner, std::uint64_t service_ns,
+                                           std::function<void()> done) {
+  std::uint64_t start = busy_until_ns_ > loop_->now_ns() ? busy_until_ns_ : loop_->now_ns();
+  if (switch_ns_ != 0 && last_owner_ != kNoOwner && last_owner_ != owner) {
+    start += switch_ns_;
+    ++switches_;
+  }
+  last_owner_ = owner;
+  const Reservation reservation{start, start + service_ns};
+  busy_until_ns_ = reservation.end_ns;
+  busy_ns_ += service_ns;
+  if (done) loop_->schedule_at(reservation.end_ns, std::move(done));
+  return reservation;
+}
+
+Network::Network(EventLoop& loop, std::size_t num_nodes, double bytes_per_s,
+                 std::uint64_t latency_ns)
+    : loop_(&loop), latency_ns_(latency_ns) {
+  egress_.reserve(num_nodes);
+  ingress_.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    egress_.emplace_back(loop, bytes_per_s);
+    ingress_.emplace_back(loop, bytes_per_s);
+  }
+}
+
+void Network::transfer(std::uint32_t src, std::uint32_t dst, std::uint32_t owner,
+                       double bytes, std::function<void()> done) {
+  if (src == dst) {
+    if (done) loop_->schedule_after(latency_ns_, std::move(done));
+    return;
+  }
+  total_bytes_ += bytes;
+  const auto reservation = egress_[src].submit(owner, bytes, nullptr);
+  // Cut-through: the message head arrives latency_ns after the sender starts
+  // serializing; the receiver link reserves *at arrival* so two transfers
+  // submitted out of time order still queue on the receiver by arrival order
+  // (causality, not submission, decides incast ordering). With an idle
+  // receiver the completion lands at egress_start + latency + serialization —
+  // one serialization end to end, which is what lets a balanced shuffle match
+  // the analytic aggregate-bandwidth term on single-bottleneck configs.
+  loop_->schedule_at(
+      reservation.start_ns + latency_ns_,
+      [this, dst, owner, bytes, done = std::move(done)]() mutable {
+        ingress_[dst].submit(owner, bytes, std::move(done));
+      });
+}
+
+}  // namespace graphm::cluster

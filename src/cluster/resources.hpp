@@ -1,0 +1,145 @@
+// Simulated cluster resources: FIFO reservation servers for disks, NIC
+// directions and core complexes, a pairwise cut-through network, and the
+// countdown barriers supersteps synchronize on.
+//
+// Every server is a reservation queue on the event loop's clock: a request
+// occupies [max(now, busy_until), +service) and its completion callback fires
+// at the end. Requests are served in submission order, so queueing delays —
+// concurrent jobs' streams interleaving on one disk, replica-sync bursts
+// serializing on a NIC — *emerge* from message timing instead of being priced
+// by the closed-form interference terms of src/dist/. The one non-FIFO touch
+// is the disk's ownership switch cost: consecutive requests from different
+// streams pay a seek, which is where Chaos-C's concurrent-stream inversion
+// (Table 4) comes from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/event_loop.hpp"
+
+namespace graphm::cluster {
+
+inline constexpr std::uint32_t kNoOwner = 0xFFFFFFFFu;
+
+/// FIFO reservation server over service times. `switch_ns` is charged before
+/// a request whose owner differs from the previous one (disk seek between
+/// interleaved streams); 0 models a seek-free resource (cores, NICs).
+class FifoServer {
+ public:
+  struct Reservation {
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+  };
+
+  explicit FifoServer(EventLoop& loop, std::uint64_t switch_ns = 0)
+      : loop_(&loop), switch_ns_(switch_ns) {}
+
+  /// Reserves the server for `service_ns` on behalf of `owner`; `done` (may
+  /// be empty) fires at the reservation's end.
+  Reservation submit(std::uint32_t owner, std::uint64_t service_ns,
+                     std::function<void()> done);
+
+  [[nodiscard]] std::uint64_t busy_until_ns() const { return busy_until_ns_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  /// Total reserved service time (excludes switch costs) — utilization probe.
+  [[nodiscard]] std::uint64_t busy_ns() const { return busy_ns_; }
+
+ private:
+  EventLoop* loop_;
+  std::uint64_t switch_ns_;
+  std::uint64_t busy_until_ns_ = 0;
+  std::uint64_t busy_ns_ = 0;
+  std::uint32_t last_owner_ = kNoOwner;
+  std::uint64_t switches_ = 0;
+};
+
+/// Byte-rate façade over FifoServer: disks and NIC directions.
+class BandwidthServer {
+ public:
+  BandwidthServer(EventLoop& loop, double bytes_per_s, std::uint64_t switch_ns = 0)
+      : server_(loop, switch_ns), bytes_per_s_(bytes_per_s) {}
+
+  [[nodiscard]] std::uint64_t ns_for(double bytes) const {
+    if (bytes <= 0.0 || bytes_per_s_ <= 0.0) return 0;
+    return static_cast<std::uint64_t>(bytes / bytes_per_s_ * 1e9);
+  }
+
+  FifoServer::Reservation submit(std::uint32_t owner, double bytes,
+                                 std::function<void()> done) {
+    total_bytes_ += bytes;
+    return server_.submit(owner, ns_for(bytes), std::move(done));
+  }
+
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t switches() const { return server_.switches(); }
+  [[nodiscard]] std::uint64_t busy_ns() const { return server_.busy_ns(); }
+
+ private:
+  FifoServer server_;
+  double bytes_per_s_;
+  double total_bytes_ = 0.0;
+};
+
+/// One simulated machine: a core complex (callers submit per-superstep tasks
+/// whose service time is already divided by the node's core count — the node
+/// fans a task across its cores, concurrent jobs' tasks serialize FIFO), one
+/// disk with seek-on-switch, and a resident-memory counter for the
+/// feasibility check (the "-" rows of Table 4).
+struct SimNode {
+  SimNode(EventLoop& loop, double disk_bytes_per_s, std::uint64_t disk_switch_ns)
+      : cores(loop), disk(loop, disk_bytes_per_s, disk_switch_ns) {}
+
+  FifoServer cores;
+  BandwidthServer disk;
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Message-level pairwise network: per-node egress and ingress links (full
+/// duplex, `bytes_per_s` each way) plus a propagation latency. Transfers are
+/// cut-through: the head of a message reaches the receiver `latency_ns` after
+/// the sender starts serializing, and the receiver's link reserves at arrival
+/// — so a balanced shuffle costs one serialization, not two, and incast on a
+/// receiver queues by arrival order.
+class Network {
+ public:
+  Network(EventLoop& loop, std::size_t num_nodes, double bytes_per_s,
+          std::uint64_t latency_ns);
+
+  /// Moves `bytes` from `src` to `dst` on behalf of `owner`; `done` fires
+  /// when the receiver has the full message. src == dst short-circuits to a
+  /// latency-only hop (local delivery).
+  void transfer(std::uint32_t src, std::uint32_t dst, std::uint32_t owner, double bytes,
+                std::function<void()> done);
+
+  [[nodiscard]] double total_bytes() const { return total_bytes_; }
+
+ private:
+  EventLoop* loop_;
+  std::uint64_t latency_ns_;
+  std::vector<BandwidthServer> egress_;
+  std::vector<BandwidthServer> ingress_;
+  double total_bytes_ = 0.0;
+};
+
+/// Fires `done` once `arrive()` has been called `count` times — the superstep
+/// barrier. Heap-allocate (shared_ptr) and capture in per-node callbacks.
+class Countdown {
+ public:
+  Countdown(std::size_t count, std::function<void()> done)
+      : remaining_(count), done_(std::move(done)) {
+    if (remaining_ == 0 && done_) done_();
+  }
+
+  void arrive() {
+    if (remaining_ == 0) return;
+    if (--remaining_ == 0 && done_) done_();
+  }
+
+ private:
+  std::size_t remaining_;
+  std::function<void()> done_;
+};
+
+}  // namespace graphm::cluster

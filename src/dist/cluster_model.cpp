@@ -50,14 +50,18 @@ std::uint64_t splitmix64(std::uint64_t x) {
 
 }  // namespace
 
+std::size_t edge_placement_node(const graph::Edge& e, std::size_t num_nodes) {
+  const std::uint64_t key = (std::uint64_t{e.src} << 32) | e.dst;
+  return static_cast<std::size_t>(splitmix64(key) % num_nodes);
+}
+
 double replication_factor(const graph::EdgeList& graph, std::size_t num_nodes) {
   if (num_nodes == 0 || graph.num_vertices() == 0) return 1.0;
   const std::size_t words_per_vertex = (num_nodes + 63) / 64;
   std::vector<std::uint64_t> replicas(
       static_cast<std::size_t>(graph.num_vertices()) * words_per_vertex, 0);
   for (const graph::Edge& e : graph.edges()) {
-    const std::uint64_t key = (std::uint64_t{e.src} << 32) | e.dst;
-    const std::size_t node = static_cast<std::size_t>(splitmix64(key) % num_nodes);
+    const std::size_t node = edge_placement_node(e, num_nodes);
     const std::uint64_t mask = 1ULL << (node & 63);
     replicas[std::size_t{e.src} * words_per_vertex + (node >> 6)] |= mask;
     replicas[std::size_t{e.dst} * words_per_vertex + (node >> 6)] |= mask;

@@ -43,6 +43,12 @@ std::vector<JobProfile> profile_jobs(const graph::EdgeList& graph,
 /// bounded by it.
 double replication_factor(const graph::EdgeList& graph, std::size_t num_nodes);
 
+/// The machine an edge lands on under the deterministic vertex-cut hash —
+/// the single placement function shared by replication_factor and the
+/// cluster subsystem's message-level placement (src/cluster/), so the DES
+/// prices exactly the cut the analytic replication factor describes.
+std::size_t edge_placement_node(const graph::Edge& e, std::size_t num_nodes);
+
 struct ClusterConfig {
   std::size_t num_nodes = 64;
   /// Table-4 style job grouping: jobs are assigned round-robin to groups and

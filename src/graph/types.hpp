@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace graphm::graph {
 
@@ -67,6 +68,24 @@ template <typename RunVector>
     if (runs[i].src <= runs[i - 1].src) return false;
   }
   return true;
+}
+
+/// Boundaries of the maximal strictly-ascending-src segments of `runs`: the
+/// result b has b.front() == 0, b.back() == runs.size(), and every
+/// [b[i], b[i+1]) ascends strictly by source. A fully sorted index yields one
+/// segment. Multi-block spans — a concatenation of per-block src-sorted
+/// streams, where the source range restarts at every block — yield one
+/// segment per block, which is what lets the engines' binary-search frontier
+/// jump work segment-locally where a global jump is impossible.
+template <typename RunVector>
+[[nodiscard]] inline std::vector<std::uint32_t> sorted_run_segments(const RunVector& runs) {
+  std::vector<std::uint32_t> bounds;
+  bounds.push_back(0);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].src <= runs[i - 1].src) bounds.push_back(static_cast<std::uint32_t>(i));
+  }
+  bounds.push_back(static_cast<std::uint32_t>(runs.size()));
+  return bounds;
 }
 
 }  // namespace graphm::graph

@@ -44,6 +44,7 @@ std::uint64_t ChunkTable::footprint_bytes() const {
   for (const ChunkInfo& chunk : chunks) {
     bytes += chunk.entries.size() * sizeof(ChunkEntry);
     bytes += chunk.runs.size() * sizeof(graph::SourceRun);
+    bytes += chunk.run_segments.size() * sizeof(std::uint32_t);
   }
   return bytes;
 }
@@ -114,6 +115,7 @@ ChunkInfo label_chunk_with(SourceIndex& index, const graph::Edge* edges,
     graph::append_source_run(info.runs, src);
   }
   info.runs_sorted = graph::source_runs_sorted(info.runs);
+  if (!info.runs_sorted) info.run_segments = graph::sorted_run_segments(info.runs);
   return info;
 }
 

@@ -324,12 +324,22 @@ grid::PartitionView SharingController::build_view_locked(JobId job, PartitionId 
       span.runs = (*overlay)->info.runs.data();
       span.num_runs = static_cast<std::uint32_t>((*overlay)->info.runs.size());
       span.runs_sorted = (*overlay)->info.runs_sorted;
+      if (!(*overlay)->info.run_segments.empty()) {
+        span.run_segments = (*overlay)->info.run_segments.data();
+        span.num_run_segments =
+            static_cast<std::uint32_t>((*overlay)->info.run_segments.size() - 1);
+      }
     } else {
       span.edges = shared_buffer_.data() + info.edge_begin;
       span.edge_count = info.total_edges();
       span.runs = info.runs.data();
       span.num_runs = static_cast<std::uint32_t>(info.runs.size());
       span.runs_sorted = info.runs_sorted;
+      if (!info.run_segments.empty()) {
+        span.run_segments = info.run_segments.data();
+        span.num_run_segments =
+            static_cast<std::uint32_t>(info.run_segments.size() - 1);
+      }
     }
     span.llc_base = reinterpret_cast<std::uint64_t>(span.edges);
     view.chunks.push_back(span);

@@ -32,6 +32,15 @@ struct ChunkSpan {
   /// binary search) instead of walking every run; unsorted indexes fall back
   /// to the linear word-test walk.
   bool runs_sorted = false;
+  /// Optional ascending-segment boundaries over `runs` for indexes that are a
+  /// concatenation of sorted pieces (multi-block partition spans, multi-block
+  /// GraphM chunks): segment s covers runs [run_segments[s],
+  /// run_segments[s+1]) and ascends strictly by source, so the binary-search
+  /// frontier jump applies segment-locally even when `runs_sorted` is false.
+  /// `run_segments` holds num_run_segments + 1 boundaries; nullptr keeps the
+  /// linear word-test walk.
+  const std::uint32_t* run_segments = nullptr;
+  std::uint32_t num_run_segments = 0;
 };
 
 struct PartitionView {

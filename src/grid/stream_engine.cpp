@@ -29,8 +29,10 @@ const StreamEngine::RunIndex& StreamEngine::partition_runs(std::uint32_t pid,
     }
     index.runs.shrink_to_fit();
     index.sorted = graph::source_runs_sorted(index.runs);
+    if (!index.sorted) index.segments = graph::sorted_run_segments(index.runs);
     std::lock_guard<std::mutex> lock(run_cache_mutex_);
-    run_cache_bytes_ += index.runs.size() * sizeof(graph::SourceRun);
+    run_cache_bytes_ += index.runs.size() * sizeof(graph::SourceRun) +
+                        index.segments.size() * sizeof(std::uint32_t);
     run_cache_tracking_ = sim::TrackedAllocation(
         &platform_.memory(), sim::MemoryCategory::kChunkTables, run_cache_bytes_);
   });
@@ -116,14 +118,17 @@ std::uint64_t StreamEngine::stream_chunk(algos::StreamingAlgorithm& algorithm,
   // next active source directly (next_set_in_range skips 64 clear bits per
   // word load) and a binary search lands on the first run at or past it, so
   // a genuinely sparse frontier touches O(active log runs) index entries
-  // instead of all of them. Unsorted indexes (multi-block partition spans,
-  // arbitrary overlay content) keep the linear word-test walk.
+  // instead of all of them. Unsorted indexes that are concatenations of
+  // sorted pieces (multi-block partition spans, multi-block GraphM chunks)
+  // carry the ascending-segment boundaries instead and jump segment-locally;
+  // only arbitrary-order indexes keep the linear word-test walk.
   constexpr graph::EdgeCount kMinSkipEdges = 24;
   std::uint64_t processed = 0;
   util::WordCache words(active);
   graph::EdgeCount segment_begin = 0;
   graph::EdgeCount segment_end = 0;  // segment = [segment_begin, segment_end)
   bool have_segment = false;
+  std::uint32_t seg = 0;  // current entry of span.run_segments, when present
   std::uint32_t r = 0;
   while (r < span.num_runs) {
     const graph::SourceRun run = span.runs[r];
@@ -142,14 +147,30 @@ std::uint64_t StreamEngine::stream_chunk(algos::StreamingAlgorithm& algorithm,
       ++r;
       continue;
     }
-    if (!span.runs_sorted) {
+    // Inactive run: jump over the sorted horizon this position sits in — the
+    // whole index when globally sorted, the enclosing ascending segment on
+    // multi-block spans, or nothing (linear walk) without either.
+    std::uint32_t jump_end;
+    if (span.runs_sorted) {
+      jump_end = span.num_runs;
+    } else if (span.run_segments != nullptr && span.num_run_segments != 0) {
+      while (span.run_segments[seg + 1] <= r) ++seg;
+      jump_end = span.run_segments[seg + 1];
+    } else {
       ++r;
       continue;
     }
     const std::size_t next_src = active.next_set_in_range(run.src + 1, active.size());
-    if (next_src >= active.size()) break;  // no active source past this run
+    if (next_src >= active.size()) {
+      // Nothing active at or above run.src: the rest of this ascending
+      // horizon is all inactive. Later segments restart at lower sources, so
+      // only a fully sorted index can stop outright.
+      if (span.runs_sorted) break;
+      r = jump_end;
+      continue;
+    }
     const graph::SourceRun* first = span.runs + r + 1;
-    const graph::SourceRun* last = span.runs + span.num_runs;
+    const graph::SourceRun* last = span.runs + jump_end;
     const graph::SourceRun* it =
         std::lower_bound(first, last, next_src,
                          [](const graph::SourceRun& a, std::size_t src) {
@@ -209,6 +230,10 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
           span.runs = index.runs.data();
           span.num_runs = static_cast<std::uint32_t>(index.runs.size());
           span.runs_sorted = index.sorted;
+          if (!index.segments.empty()) {
+            span.run_segments = index.segments.data();
+            span.num_run_segments = static_cast<std::uint32_t>(index.segments.size() - 1);
+          }
         }
         loader.begin_chunk(job_id, view->pid, span.chunk_id);
 

@@ -120,6 +120,10 @@ class StreamEngine {
   struct RunIndex {
     std::vector<graph::SourceRun> runs;
     bool sorted = false;  // strictly ascending srcs => binary-search jumps
+    /// For unsorted indexes (a partition is a row of src-sorted blocks, so
+    /// its concatenated runs restart at every block): the ascending-segment
+    /// boundaries (graph::sorted_run_segments), enabling segment-local jumps.
+    std::vector<std::uint32_t> segments;
   };
 
   /// The shared per-partition source-run index for loaders that hand out

@@ -36,6 +36,13 @@ LatencySummary latency_from_outcomes(const std::vector<runtime::JobOutcome>& job
   return summarize_latency(std::move(samples));
 }
 
+double sustained_jobs_per_s(std::size_t completed, std::uint64_t first_arrival_ns,
+                            std::uint64_t last_completion_ns) {
+  if (completed == 0 || last_completion_ns <= first_arrival_ns) return 0.0;
+  return static_cast<double>(completed) /
+         (static_cast<double>(last_completion_ns - first_arrival_ns) / 1e9);
+}
+
 void StatsCollector::on_submit() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++submitted_;
@@ -87,11 +94,8 @@ ModeledReplay modeled_replay(std::vector<ReplayJob> jobs, std::size_t workers) {
     latencies.push_back(completion - job.arrival_ns);
     last_completion = std::max(last_completion, completion);
   }
-  const std::uint64_t first_arrival = jobs.front().arrival_ns;
-  if (last_completion > first_arrival) {
-    replay.sustained_jobs_per_s = static_cast<double>(jobs.size()) /
-                                  (static_cast<double>(last_completion - first_arrival) / 1e9);
-  }
+  replay.sustained_jobs_per_s =
+      sustained_jobs_per_s(jobs.size(), jobs.front().arrival_ns, last_completion);
   replay.e2e = summarize_latency(std::move(latencies));
   return replay;
 }
@@ -133,9 +137,9 @@ ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
   stats.e2e_modeled = summarize_latency(modeled_latency_ns_);
   stats.exec_modeled = summarize_latency(std::move(exec_modeled));
   stats.modeled = modeled_replay(std::move(replay_jobs), workers);
-  if (!completed_.empty() && last_completion > first_arrival) {
-    stats.sustained_jobs_per_s = static_cast<double>(completed_.size()) /
-                                 (static_cast<double>(last_completion - first_arrival) / 1e9);
+  if (!completed_.empty()) {
+    stats.sustained_jobs_per_s =
+        sustained_jobs_per_s(completed_.size(), first_arrival, last_completion);
   }
   return stats;
 }

@@ -42,6 +42,13 @@ LatencySummary summarize_latency(std::vector<std::uint64_t> samples_ns);
 /// machinery the service uses.
 LatencySummary latency_from_outcomes(const std::vector<runtime::JobOutcome>& jobs);
 
+/// Completed jobs per second over [first arrival, last completion] — the
+/// sustained-throughput definition every serving surface reports (the local
+/// JobService, its modeled replay, and the cluster subsystem's per-backend
+/// stats). 0 when the window is empty or inverted.
+double sustained_jobs_per_s(std::size_t completed, std::uint64_t first_arrival_ns,
+                            std::uint64_t last_completion_ns);
+
 /// One point of the service's concurrency timeline: `running` jobs were
 /// executing from `t_ns` until the next point.
 struct ConcurrencyPoint {
