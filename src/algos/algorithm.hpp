@@ -81,18 +81,83 @@ class StreamingAlgorithm {
   /// the scalar fallback the equivalence tests pin overrides against.
   /// Overrides must be observably identical to that fallback.
   ///
-  /// When parallel_safe() is true, engines may invoke this concurrently from
-  /// several worker threads on disjoint blocks of the same iteration.
+  /// When parallel_safe() is true and dst_stripes() == 0, engines may invoke
+  /// this concurrently from several worker threads on disjoint blocks of the
+  /// same iteration. Striped algorithms (dst_stripes() > 0) are fanned out
+  /// via process_edge_block_striped instead; their plain block calls stay
+  /// serial.
   virtual graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
                                               const util::AtomicBitmap& active);
 
-  /// True iff concurrent process_edge_block / process_edge calls within one
-  /// iteration are safe AND leave a state independent of the interleaving
-  /// (order-independent relaxations: atomic min, idempotent writes). Engines
-  /// only fan a job's blocks across a thread pool when this holds; ordering-
-  /// sensitive algorithms (floating-point accumulation) keep the serial block
-  /// path so results stay bit-identical at any thread count.
+  /// True iff the engine may fan this job's relaxations across a thread pool
+  /// without changing the result at any thread count. Two ways to qualify:
+  ///
+  ///  * dst_stripes() == 0 — concurrent process_edge_block / process_edge
+  ///    calls on disjoint blocks are safe AND leave a state independent of
+  ///    the interleaving (order-independent relaxations: atomic min,
+  ///    idempotent writes).
+  ///  * dst_stripes() > 0 — striped accumulation: the engine partitions the
+  ///    fan-out by destination stripe (process_edge_block_striped), never by
+  ///    block, so an order-sensitive reduction stays deterministic. See below.
   [[nodiscard]] virtual bool parallel_safe() const { return false; }
+
+  // -------------------------------------------------------------------------
+  // Striped accumulation — the deterministic parallel mode for algorithms
+  // whose relaxation is an order-sensitive reduction (PageRank's
+  // floating-point `next[dst] += contribution[src]`).
+  //
+  // Ownership rule: destination vertices are split into dst_stripes() fixed
+  // stripes — a pure function of the graph, never of the thread count — and
+  // each stripe is relaxed by exactly one task that scans the range in
+  // stream order. A given destination's contributions therefore arrive in
+  // exactly the order the serial scan would deliver them, no matter how many
+  // workers the engine owns or which worker picks up which stripe, so the
+  // result is bit-identical to the serial block path at any thread count.
+  //
+  // Partition grouping: engines additionally announce each partition with
+  // begin_partition() before streaming its chunks. Algorithms that
+  // accumulate use it to keep one partial accumulator per partition and
+  // merge them in ascending partition order at iteration_end — a fixed-shape
+  // reduction keyed by the graph layout, not by arrival order — so the
+  // result is also independent of the order partitions are visited in
+  // (GraphM's scheduler reorders loads; mid-round attaches rotate a job's
+  // traversal). Drivers that never call begin_partition (the engine-free
+  // reference oracle, the job profiler) get the flat single-group behaviour.
+  // -------------------------------------------------------------------------
+
+  /// Number of destination stripes for striped accumulation; 0 (default)
+  /// means the algorithm does not use the striped mode. Must be constant for
+  /// the lifetime of the instance and independent of any engine/thread
+  /// configuration.
+  [[nodiscard]] virtual std::uint32_t dst_stripes() const { return 0; }
+
+  /// Maps a destination vertex to its owning stripe, < dst_stripes(). Must be
+  /// a pure function of (dst, init-time inputs). Only meaningful when
+  /// dst_stripes() > 0.
+  [[nodiscard]] virtual std::uint32_t dst_stripe_of(graph::VertexId dst) const {
+    (void)dst;
+    return 0;
+  }
+
+  /// Streams a block like process_edge_block but relaxes only the edges whose
+  /// destination lies in `stripe` (source gating unchanged); returns the
+  /// number relaxed. Engines may call this concurrently for *different*
+  /// stripes of the same range; calls for the same stripe are serial and in
+  /// stream order. The default gates per edge via dst_stripe_of + process_edge
+  /// (the scalar fallback, observably identical to any override).
+  virtual graph::EdgeCount process_edge_block_striped(const graph::Edge* edges,
+                                                      graph::EdgeCount n,
+                                                      const util::AtomicBitmap& active,
+                                                      std::uint32_t stripe);
+
+  /// Announces that the edges streamed until the next begin_partition (or
+  /// iteration end) belong to partition `pid` of `num_partitions`. Called by
+  /// engines on the job's own thread, before the partition's first chunk,
+  /// once per partition per iteration. Default: ignored.
+  virtual void begin_partition(std::uint32_t pid, std::uint32_t num_partitions) {
+    (void)pid;
+    (void)num_partitions;
+  }
 
   virtual void iteration_end() = 0;
 

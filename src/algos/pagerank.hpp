@@ -1,6 +1,17 @@
 // PageRank with configurable damping factor and iteration count — the
 // paper's network-intensive workload (every iteration traverses the whole
 // graph). Push-style: each edge adds rank[src]/deg[src] into the next sums.
+//
+// Deterministic parallel mode: PageRank's accumulation is order-sensitive
+// floating point, so instead of block fan-out it opts into the striped-
+// accumulation contract (see algorithm.hpp): destination vertices are split
+// into kDstStripes fixed equal-width stripes, each stripe is relaxed by one
+// task scanning the range in stream order, and contributions accumulate into
+// one partial array per partition, merged in ascending partition order at
+// iteration_end. The per-destination summation order is then a pure function
+// of the graph layout — independent of thread count, of which worker owns
+// which stripe, and of the order partitions are visited in — so -S/-C/-M
+// produce byte-identical values_span() at any stream-thread count.
 #pragma once
 
 #include "algos/algorithm.hpp"
@@ -9,6 +20,12 @@ namespace graphm::algos {
 
 class PageRank final : public StreamingAlgorithm {
  public:
+  /// Fixed stripe count — a constant so the summation shape can never depend
+  /// on the engine's pool size. Wide enough to feed the repo's largest test
+  /// pools (8 workers) with slack for load balance on skewed dst
+  /// distributions.
+  static constexpr std::uint32_t kDstStripes = 16;
+
   PageRank(double damping, std::uint32_t max_iterations)
       : damping_(damping), max_iterations_(max_iterations) {}
 
@@ -20,12 +37,15 @@ class PageRank final : public StreamingAlgorithm {
   void process_edge(const graph::Edge& e) override;
   graph::EdgeCount process_edge_block(const graph::Edge* edges, graph::EdgeCount n,
                                       const util::AtomicBitmap& active) override;
-  // parallel_safe() stays false: next_[dst] += contribution_[src] is a
-  // floating-point accumulation whose result depends on summation order, so
-  // concurrent blocks would break the bit-identical determinism the engines
-  // guarantee. Engines still stream PageRank through the devirtualized block
-  // path — just on a single worker. (A deterministic parallel reduction is a
-  // ROADMAP open item.)
+  graph::EdgeCount process_edge_block_striped(const graph::Edge* edges, graph::EdgeCount n,
+                                              const util::AtomicBitmap& active,
+                                              std::uint32_t stripe) override;
+  [[nodiscard]] bool parallel_safe() const override { return true; }
+  [[nodiscard]] std::uint32_t dst_stripes() const override { return kDstStripes; }
+  [[nodiscard]] std::uint32_t dst_stripe_of(graph::VertexId dst) const override {
+    return stripe_of(dst);
+  }
+  void begin_partition(std::uint32_t pid, std::uint32_t num_partitions) override;
   void iteration_end() override;
   [[nodiscard]] bool done() const override { return iterations_done_ >= max_iterations_; }
   [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {
@@ -36,6 +56,17 @@ class PageRank final : public StreamingAlgorithm {
   [[nodiscard]] double damping() const { return damping_; }
 
  private:
+  [[nodiscard]] std::uint32_t stripe_of(graph::VertexId dst) const {
+    // Equal-width contiguous stripes: monotone in dst, so each stripe's
+    // relaxations touch one dense slice of the accumulator.
+    return static_cast<std::uint32_t>(std::uint64_t{dst} * kDstStripes / rank_.size());
+  }
+  /// First destination owned by `stripe` (inverse of stripe_of's floor map).
+  [[nodiscard]] graph::VertexId stripe_begin(std::uint32_t stripe) const {
+    return static_cast<graph::VertexId>(
+        (std::uint64_t{stripe} * rank_.size() + kDstStripes - 1) / kDstStripes);
+  }
+
   double damping_;
   std::uint32_t max_iterations_;
   std::uint32_t iterations_done_ = 0;
@@ -43,8 +74,19 @@ class PageRank final : public StreamingAlgorithm {
   std::vector<double> next_;
   std::vector<double> contribution_;  // rank[v]/deg[v], frozen per iteration
   const std::vector<std::uint32_t>* degrees_ref_ = nullptr;
+  /// Per-partition partial accumulators (allocated lazily on the first
+  /// begin_partition of each partition; empty inner vector = untouched).
+  /// iteration_end folds them into next_ in ascending partition order. With
+  /// one partition (or no begin_partition calls at all — the engine-free
+  /// oracle) accumulation goes straight into next_ and the merge is a no-op.
+  std::vector<std::vector<double>> partials_;
+  /// Accumulator the current partition's relaxations target: next_.data()
+  /// in flat mode, partials_[pid].data() under engine partition grouping.
+  double* partial_cur_ = nullptr;
   util::AtomicBitmap active_;
   sim::TrackedAllocation tracking_;
+  sim::TrackedAllocation partials_tracking_;
+  sim::MemoryTracker* tracker_ = nullptr;
 };
 
 }  // namespace graphm::algos

@@ -93,6 +93,7 @@ struct BackendState {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline_misses = 0;
+  std::uint64_t deadline_aborts = 0;
   std::vector<std::uint64_t> queue_wait_ns;
   std::vector<std::uint64_t> stream_ns;
   std::vector<std::uint64_t> e2e_ns;
@@ -105,14 +106,13 @@ struct BackendState {
 };
 
 /// Index of the next job to dispatch under the backend's policy: EDF picks
-/// the tightest non-zero deadline (deadline-less jobs last, FIFO among
-/// equals); everything else is FIFO. `ready` is in arrival order.
+/// the tightest real deadline via the shared service::edf_deadline_key
+/// (deadline-less jobs — the service::kNoDeadline sentinel — last, FIFO
+/// among equals); everything else is FIFO. `ready` is in arrival order.
 std::size_t pick_next(const BackendState& state) {
   if (state.config->policy != service::AdmissionPolicy::kDeadline) return 0;
   std::size_t best = 0;
-  auto key = [](const PendingJob& j) {
-    return j.deadline_ns == 0 ? std::numeric_limits<std::uint64_t>::max() : j.deadline_ns;
-  };
+  auto key = [](const PendingJob& j) { return service::edf_deadline_key(j.deadline_ns); };
   for (std::size_t i = 1; i < state.ready.size(); ++i) {
     if (key(state.ready[i]) < key(state.ready[best])) best = i;
   }
@@ -122,19 +122,40 @@ std::size_t pick_next(const BackendState& state) {
 void try_dispatch(EventLoop& loop, BackendState& state);
 
 void dispatch_one(EventLoop& loop, BackendState& state, PendingJob job) {
+  const bool cancellable =
+      state.config->cancel_past_deadline && job.deadline_ns != service::kNoDeadline;
+  if (cancellable && loop.now_ns() > job.deadline_ns) {
+    // Shed at dispatch (JobService::cancel_past_deadline semantics): the
+    // deadline passed while the job sat in the queue, so running it would
+    // only burn the backend's disks and cores on a guaranteed miss.
+    ++state.deadline_misses;
+    ++state.deadline_aborts;
+    loop.trace(TraceCode::kJobAborted, state.backend_id, job.id, job.deadline_ns);
+    return;
+  }
   ++state.running;
   const std::uint64_t start_ns = loop.now_ns();
   state.queue_wait_ns.push_back(start_ns - job.arrival_ns);
-  state.sim->start_job(job.id, *job.profile, [&loop, &state, job, start_ns] {
-    const std::uint64_t completion = loop.now_ns();
-    ++state.completed;
-    state.stream_ns.push_back(completion - start_ns);
-    state.e2e_ns.push_back(completion - job.arrival_ns);
-    state.last_completion_ns = std::max(state.last_completion_ns, completion);
-    if (job.deadline_ns != 0 && completion > job.deadline_ns) ++state.deadline_misses;
-    --state.running;
-    try_dispatch(loop, state);
-  });
+  state.sim->start_job(
+      job.id, *job.profile,
+      [&loop, &state, job, start_ns](bool aborted) {
+        const std::uint64_t completion = loop.now_ns();
+        state.last_completion_ns = std::max(state.last_completion_ns, completion);
+        if (aborted) {
+          ++state.deadline_misses;
+          ++state.deadline_aborts;
+        } else {
+          ++state.completed;
+          state.stream_ns.push_back(completion - start_ns);
+          state.e2e_ns.push_back(completion - job.arrival_ns);
+          if (job.deadline_ns != service::kNoDeadline && completion > job.deadline_ns) {
+            ++state.deadline_misses;
+          }
+        }
+        --state.running;
+        try_dispatch(loop, state);
+      },
+      cancellable ? job.deadline_ns : 0);
 }
 
 void try_dispatch(EventLoop& loop, BackendState& state) {
@@ -263,6 +284,7 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
     stats.rejected = state.rejected;
     stats.completed = state.completed;
     stats.deadline_misses = state.deadline_misses;
+    stats.deadline_aborts = state.deadline_aborts;
     stats.queue_wait = service::summarize_latency(std::move(state.queue_wait_ns));
     stats.stream_time = service::summarize_latency(std::move(state.stream_ns));
     stats.e2e = service::summarize_latency(std::move(state.e2e_ns));

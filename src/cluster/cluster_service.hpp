@@ -49,6 +49,12 @@ struct BackendConfig {
   service::AdmissionPolicy policy = service::AdmissionPolicy::kImmediate;
   std::size_t batch_k = 4;
   std::uint64_t batch_max_wait_ns = 50'000'000;
+  /// Mirror of ServiceConfig::cancel_past_deadline on the simulated clock:
+  /// a job whose deadline passed while queued is shed at dispatch, and a
+  /// dispatched job is aborted at its next superstep barrier (BackendSim
+  /// frees its disk/core/structure reservations early). Off by default —
+  /// deadlines then only feed EDF ordering and the miss counter.
+  bool cancel_past_deadline = false;
 };
 
 struct ClusterServiceConfig {
@@ -62,8 +68,11 @@ struct ClusterServiceConfig {
 struct Submission {
   algos::JobSpec spec;
   std::uint64_t arrival_ns = 0;
-  std::uint64_t deadline_ns = 0;  // absolute sim-clock deadline; 0 = none
-  std::string dataset;            // empty = route to the least-loaded backend
+  /// Absolute sim-clock deadline; service::kNoDeadline (0) = none. Derive
+  /// real deadlines with service::deadline_from(arrival_ns, slo_ns) so a
+  /// time-zero deadline can never collapse into the sentinel.
+  std::uint64_t deadline_ns = service::kNoDeadline;
+  std::string dataset;  // empty = route to the least-loaded backend
 };
 
 /// Per-backend SLO report — the ServiceStats view of one simulated backend.
@@ -74,6 +83,10 @@ struct BackendStats {
   std::uint64_t rejected = 0;  // admission backpressure
   std::uint64_t completed = 0;
   std::uint64_t deadline_misses = 0;
+  /// Jobs cancelled under cancel_past_deadline: shed at dispatch or aborted
+  /// mid-run at a superstep barrier. Every abort is also a deadline miss;
+  /// aborted jobs are excluded from `completed` and the latency summaries.
+  std::uint64_t deadline_aborts = 0;
 
   service::LatencySummary queue_wait;   // dispatch − arrival
   service::LatencySummary stream_time;  // completion − dispatch

@@ -46,13 +46,16 @@ Placement vertex_cut_placement(const graph::EdgeList& graph, std::size_t num_nod
 struct BackendSim::JobRun {
   std::uint32_t id = 0;
   const dist::JobProfile* profile = nullptr;
-  std::function<void()> on_complete;
+  CompletionFn on_complete;
   /// Supersteps completed — the job's own iteration privately, supersteps
   /// ridden since attach on the shared Chaos stream.
   std::size_t iter = 0;
   /// This job ingested a private structure replica (PowerGraph, sharing
   /// off) that completion must release. Zero-iteration jobs never take one.
   bool holds_structure = false;
+  /// Abort-at-barrier deadline on the simulated clock (0 = never abort).
+  std::uint64_t abort_deadline_ns = 0;
+  bool aborted = false;
 };
 
 BackendSim::BackendSim(EventLoop& loop, std::uint32_t backend_id, std::size_t num_nodes,
@@ -111,12 +114,13 @@ void BackendSim::check_memory() {
 }
 
 void BackendSim::start_job(std::uint32_t job_id, const dist::JobProfile& profile,
-                           std::function<void()> on_complete) {
+                           CompletionFn on_complete, std::uint64_t abort_deadline_ns) {
   jobs_.push_back(std::make_unique<JobRun>());
   JobRun* job = jobs_.back().get();
   job->id = job_id;
   job->profile = &profile;
   job->on_complete = std::move(on_complete);
+  job->abort_deadline_ns = abort_deadline_ns;
   ++jobs_running_;
   loop_.trace(TraceCode::kJobDispatched, backend_id_, job_id,
               static_cast<std::uint64_t>(nodes_.size()));
@@ -193,10 +197,31 @@ void BackendSim::begin_ingest(JobRun* job) {
 
 void BackendSim::begin_supersteps(JobRun* job) { private_superstep(job); }
 
+bool BackendSim::past_deadline(const JobRun* job) const {
+  return job->abort_deadline_ns != 0 && loop_.now_ns() > job->abort_deadline_ns;
+}
+
+void BackendSim::abort_job(JobRun* job) {
+  // Deadline abort at a barrier event: the job submits no further disk,
+  // core or network work from this point, so everything it reserved drains
+  // on the simulated clock and competing jobs stop paying for it.
+  job->aborted = true;
+  ++jobs_aborted_;
+  loop_.trace(TraceCode::kJobAborted, backend_id_, job->id, job->abort_deadline_ns);
+  complete(job);
+}
+
 void BackendSim::private_superstep(JobRun* job) {
   const dist::JobProfile& profile = *job->profile;
   if (job->iter >= profile.iterations()) {
     complete(job);
+    return;
+  }
+  // Superstep boundary (also the post-ingest entry): the only points a run
+  // can be cancelled, mirroring the engine's iteration/partition-boundary
+  // polling in JobService's cancel_past_deadline.
+  if (past_deadline(job)) {
+    abort_job(job);
     return;
   }
   const std::size_t m = nodes_.size();
@@ -274,6 +299,11 @@ void BackendSim::shared_superstep() {
         ++job->iter;
         if (job->iter >= job->profile->iterations()) {
           complete(job);
+        } else if (past_deadline(job)) {
+          // Past-deadline riders leave the stream at the barrier: the next
+          // pass no longer waits for their per-node compute or carries their
+          // update bytes.
+          abort_job(job);
         } else {
           still_riding.push_back(job);
         }
@@ -315,9 +345,9 @@ void BackendSim::complete(JobRun* job) {
   loop_.trace(TraceCode::kJobComplete, backend_id_, job->id, loop_.now_ns());
   if (jobs_running_ > 0) --jobs_running_;
   if (job->holds_structure && resident_structures_ > 0) {
-    --resident_structures_;  // the private replica is dropped
+    --resident_structures_;  // the private replica is dropped (aborts too)
   }
-  if (job->on_complete) job->on_complete();
+  if (job->on_complete) job->on_complete(job->aborted);
 }
 
 DesEstimate des_run(Backend backend, dist::DistScheme scheme,
@@ -358,7 +388,7 @@ DesEstimate des_run(Backend backend, dist::DistScheme scheme,
         if (index >= jobs.size()) return;
         const std::size_t j = jobs[index];
         sim->start_job(static_cast<std::uint32_t>(j), profiles[j],
-                       [&loop, &estimate, chain, index, j] {
+                       [&loop, &estimate, chain, index, j](bool /*aborted*/) {
                          estimate.job_completion_s[j] =
                              static_cast<double>(loop.now_ns()) / 1e9;
                          (*chain)(index + 1);
@@ -368,9 +398,11 @@ DesEstimate des_run(Backend backend, dist::DistScheme scheme,
     } else {
       for (const std::size_t j : jobs) {
         loop.schedule_at(0, [&loop, &estimate, &profiles, sim, j] {
-          sim->start_job(static_cast<std::uint32_t>(j), profiles[j], [&loop, &estimate, j] {
-            estimate.job_completion_s[j] = static_cast<double>(loop.now_ns()) / 1e9;
-          });
+          sim->start_job(static_cast<std::uint32_t>(j), profiles[j],
+                         [&loop, &estimate, j](bool /*aborted*/) {
+                           estimate.job_completion_s[j] =
+                               static_cast<double>(loop.now_ns()) / 1e9;
+                         });
         });
       }
     }

@@ -93,12 +93,23 @@ class BackendSim {
   BackendSim(const BackendSim&) = delete;
   BackendSim& operator=(const BackendSim&) = delete;
 
+  /// `aborted` reports whether the job was deadline-aborted before its final
+  /// superstep (false = ran to completion).
+  using CompletionFn = std::function<void(bool aborted)>;
+
   /// Starts `profile` as job `job_id` at the loop's current time;
   /// `on_complete` fires at the job's final superstep barrier. `profile`
   /// must outlive the run. Infeasible placements (structure + job data
   /// exceeding node memory) still run but clear feasible().
+  ///
+  /// `abort_deadline_ns` (0 = never) mirrors JobService's
+  /// cancel_past_deadline on the simulated clock: the job is aborted at the
+  /// first superstep-barrier event past the deadline — it stops submitting
+  /// disk/core/network work, releases any private structure replica it
+  /// holds, and leaves the shared stream — so a missed-deadline job frees
+  /// its reservations early instead of running to completion.
   void start_job(std::uint32_t job_id, const dist::JobProfile& profile,
-                 std::function<void()> on_complete);
+                 CompletionFn on_complete, std::uint64_t abort_deadline_ns = 0);
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] double replication() const { return placement_.replication; }
@@ -106,6 +117,9 @@ class BackendSim {
   /// Times the structure moved: PowerGraph ingests or Chaos full-graph
   /// streams — the redundancy -M removes.
   [[nodiscard]] double structure_loads() const { return structure_loads_; }
+  /// Jobs deadline-aborted at a superstep barrier (start_job's
+  /// abort_deadline_ns).
+  [[nodiscard]] std::uint64_t jobs_aborted() const { return jobs_aborted_; }
   [[nodiscard]] double disk_bytes() const;
   [[nodiscard]] double network_bytes() const { return network_.total_bytes(); }
 
@@ -118,6 +132,10 @@ class BackendSim {
   void attach_shared_stream(JobRun* job);
   void shared_superstep();
   void complete(JobRun* job);
+  /// True iff the job carries an abort deadline the simulated clock has
+  /// passed. Checked only at superstep-barrier events.
+  [[nodiscard]] bool past_deadline(const JobRun* job) const;
+  void abort_job(JobRun* job);
 
   [[nodiscard]] std::uint64_t compute_ns(const dist::JobProfile& profile, std::size_t iter,
                                          std::size_t node);
@@ -142,6 +160,7 @@ class BackendSim {
   std::size_t jobs_running_ = 0;
   bool feasible_ = true;
   double structure_loads_ = 0.0;
+  std::uint64_t jobs_aborted_ = 0;
 
   // PowerGraph shared-structure state.
   enum class Structure { kAbsent, kLoading, kResident };

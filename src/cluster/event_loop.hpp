@@ -29,6 +29,7 @@ enum class TraceCode : std::uint32_t {
   kSuperstep = 3,      // a superstep barrier completed (detail: iteration)
   kJobComplete = 4,    // job's final barrier (detail: completion time ns)
   kJobRejected = 5,    // admission backpressure (detail: queue depth)
+  kJobAborted = 6,     // deadline abort at a superstep barrier (detail: deadline ns)
 };
 
 /// One entry of the reproducible event trace. POD with defaulted equality:

@@ -67,6 +67,25 @@ std::uint64_t StreamEngine::stream_range(algos::StreamingAlgorithm& algorithm,
     return processed;
   }
 
+  const std::uint32_t stripes = algorithm.dst_stripes();
+  if (stripes > 0) {
+    // Striped fan-out (order-sensitive reductions, e.g. PageRank): the work
+    // unit is a destination stripe, not a block. Each stripe task scans the
+    // whole range in stream order and relaxes only the destinations it owns,
+    // so the per-destination summation order is the serial one no matter how
+    // many workers run or which worker takes which stripe. Per-stripe relaxed
+    // counts partition the source-active edges (each edge belongs to exactly
+    // one dst stripe), so the integer-reduced total matches the serial scan.
+    std::atomic<std::uint64_t> processed{0};
+    pool_->parallel_for(stripes, [&](std::size_t s) {
+      processed.fetch_add(
+          algorithm.process_edge_block_striped(span.edges + begin, len, active,
+                                               static_cast<std::uint32_t>(s)),
+          std::memory_order_relaxed);
+    });
+    return processed.load(std::memory_order_relaxed);
+  }
+
   // Fan the range's blocks across the pool. The per-block relaxed counts are
   // reduced with an integer fetch_add — order-independent, so the total (and
   // every simulated metric derived from it) is identical at any thread count.
@@ -206,6 +225,12 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
 
     while (auto view = loader.acquire_next(job_id)) {
       ++stats.partitions_loaded;
+      // Partition-grouping seam of the striped-accumulation contract: every
+      // engine path (legacy scalar, blocks, pooled) announces the partition
+      // so accumulating algorithms group contributions identically — the
+      // property that makes PageRank byte-identical across -S/-C/-M and any
+      // partition visit order.
+      algorithm.begin_partition(view->pid, store_.meta().num_partitions);
       const auto [values_ptr, values_bytes] = algorithm.values_span();
       // The run walk costs ~8 bytes of index bandwidth per run and only pays
       // when it actually skips edge reads. Dense-ish frontiers (PageRank/WCC

@@ -10,13 +10,17 @@
 // The streaming hot path is block-batched: a chunk is cut into fixed-size
 // edge blocks and each block goes through one virtual process_edge_block call
 // whose override runs a tight devirtualized loop (word-at-a-time frontier
-// tests). When the engine owns a thread pool and the algorithm declares its
-// relaxation order-independent (parallel_safe()), the blocks of a chunk fan
-// out across the pool — the paper's intra-job `#threads == #cores` axis
-// (Figure 20). All simulated metrics (instructions, LLC accesses) are issued
-// from the calling thread in canonical chunk order after each chunk's blocks
-// complete, so they are bit-identical at any thread count; see
-// docs/streaming.md.
+// tests). When the engine owns a thread pool and the algorithm declares
+// parallel_safe(), the chunk fans out across the pool — the paper's intra-job
+// `#threads == #cores` axis (Figure 20) — in one of two shapes: by block for
+// order-independent relaxations, or by destination stripe for order-sensitive
+// reductions (dst_stripes() > 0, e.g. PageRank), which keeps results
+// bit-identical at any thread count. The engine also announces each
+// partition via begin_partition so accumulating algorithms can group
+// contributions by the graph layout rather than visit order. All simulated
+// metrics (instructions, LLC accesses) are issued from the calling thread in
+// canonical chunk order after each chunk's blocks complete, so they are
+// bit-identical at any thread count; see docs/streaming.md.
 #pragma once
 
 #include <atomic>

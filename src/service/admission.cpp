@@ -38,12 +38,11 @@ bool AdmissionQueue::push(JobRecordPtr job, std::uint64_t now_ns) {
 
 JobRecordPtr AdmissionQueue::take_locked() {
   if (config_.policy == AdmissionPolicy::kDeadline) {
-    // EDF: tightest deadline first; deadline-less jobs (0 mapped to +inf)
-    // last; FIFO (queue order) among equals.
+    // EDF: tightest deadline first; deadline-less jobs (the kNoDeadline
+    // sentinel, mapped to +inf by the shared key) last; FIFO (queue order)
+    // among equals.
     auto best = ready_.begin();
-    auto key = [](const JobRecordPtr& job) {
-      return job->deadline_ns == 0 ? UINT64_MAX : job->deadline_ns;
-    };
+    auto key = [](const JobRecordPtr& job) { return edf_deadline_key(job->deadline_ns); };
     for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
       if (key(*it) < key(*best)) best = it;
     }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -39,6 +40,39 @@ enum class AdmissionPolicy : int { kImmediate = 0, kBatchUntilK = 1, kDeadline =
 
 const char* admission_policy_name(AdmissionPolicy policy);
 
+// ---------------------------------------------------------------------------
+// Deadline convention (repo-wide, local service and simulated cluster alike):
+// deadline_ns is an absolute clock value and 0 is the reserved "no deadline"
+// sentinel — EDF sorts it last and it can never be missed or aborted. The
+// helpers below are the single definition of that convention; both EDF
+// queues (AdmissionQueue::take_locked and the cluster service's pick_next)
+// sort through edf_deadline_key, and deadline_from() is how real deadlines
+// are derived from now + slo, clamping away the one value (0) that would
+// otherwise silently turn a genuine time-zero deadline into "infinitely
+// lax".
+// ---------------------------------------------------------------------------
+
+/// The "no deadline" sentinel.
+inline constexpr std::uint64_t kNoDeadline = 0;
+
+/// EDF sort key: tightest real deadline first, the sentinel last (mapped to
+/// +inf, so it loses every comparison; FIFO among equals is the queue's
+/// responsibility).
+[[nodiscard]] constexpr std::uint64_t edf_deadline_key(std::uint64_t deadline_ns) {
+  return deadline_ns == kNoDeadline ? std::numeric_limits<std::uint64_t>::max()
+                                    : deadline_ns;
+}
+
+/// Builds an absolute deadline from a clock reading and a relative SLO.
+/// Normalized: a computed deadline of exactly 0 ns (only reachable at clock
+/// origin with a zero SLO) becomes 1 ns — still unmeetable-tight, but a real
+/// deadline rather than the sentinel.
+[[nodiscard]] constexpr std::uint64_t deadline_from(std::uint64_t now_ns,
+                                                    std::uint64_t slo_ns) {
+  const std::uint64_t deadline = now_ns + slo_ns;
+  return deadline == kNoDeadline ? 1 : deadline;
+}
+
 enum class JobState : int { kQueued = 0, kRunning = 1, kDone = 2, kCancelled = 3, kRejected = 4 };
 
 /// Shared record of one submitted job: the submission parameters, lifecycle
@@ -48,7 +82,9 @@ struct JobRecord {
   std::uint32_t job_id = 0;
   std::size_t dataset = 0;
   algos::JobSpec spec;
-  std::uint64_t deadline_ns = 0;  // absolute service-clock deadline; 0 = none
+  /// Absolute service-clock deadline; kNoDeadline (0) = none. Derive real
+  /// deadlines with deadline_from(now, slo) — see the convention above.
+  std::uint64_t deadline_ns = kNoDeadline;
 
   runtime::JobOutcome outcome;  // timestamps, engine stats, optional result
   std::uint64_t modeled_latency_ns = 0;

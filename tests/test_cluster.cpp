@@ -510,5 +510,187 @@ TEST(ClusterServiceTest, RunsAreDeterministic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Deadline aborts on the simulated clock
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineAbort, DispatchedJobAbortsAtBarrierAndStopsReservingResources) {
+  // One 2-node Chaos backend, no sharing: every private superstep re-streams
+  // the node's slice from its disk, so an aborted job's disappearance is
+  // directly visible as disk bytes never reserved.
+  const auto g = test_graph();
+  const auto profile =
+      dist::profile_job(g, pagerank_spec(/*iterations=*/12));
+  dist::ClusterConfig cluster;
+
+  auto run_once = [&](std::uint64_t abort_deadline_ns) {
+    EventLoop loop(quiet_config().seed, /*record_trace=*/true);
+    BackendSim sim(loop, 0, 2, g, cluster, quiet_config(), Backend::kChaos,
+                   /*shared_structure=*/false);
+    std::uint64_t completion_ns = 0;
+    bool aborted = false;
+    loop.schedule_at(0, [&] {
+      sim.start_job(0, profile,
+                    [&loop, &completion_ns, &aborted](bool was_aborted) {
+                      completion_ns = loop.now_ns();
+                      aborted = was_aborted;
+                    },
+                    abort_deadline_ns);
+    });
+    loop.run();
+    struct Result {
+      std::uint64_t completion_ns;
+      bool aborted;
+      std::uint64_t jobs_aborted;
+      double disk_bytes;
+      std::vector<TraceRecord> trace;
+    };
+    return Result{completion_ns, aborted, sim.jobs_aborted(), sim.disk_bytes(),
+                  loop.take_trace_records()};
+  };
+
+  const auto full = run_once(/*abort_deadline_ns=*/0);
+  ASSERT_FALSE(full.aborted);
+  ASSERT_GT(full.completion_ns, 0u);
+
+  // Deadline a third of the way through the full run: the job must stop at
+  // the first superstep barrier past it, well before the full completion.
+  const std::uint64_t deadline = full.completion_ns / 3;
+  const auto cut = run_once(deadline);
+  EXPECT_TRUE(cut.aborted);
+  EXPECT_EQ(cut.jobs_aborted, 1u);
+  EXPECT_GT(cut.completion_ns, deadline) << "aborts happen at the next barrier, not mid-superstep";
+  EXPECT_LT(cut.completion_ns, full.completion_ns);
+  EXPECT_LT(cut.disk_bytes, full.disk_bytes)
+      << "an aborted job must stop reserving disk service on the simulated clock";
+
+  // The abort is a traced barrier-time event carrying the deadline.
+  bool saw_abort = false;
+  for (const TraceRecord& record : cut.trace) {
+    if (record.code == TraceCode::kJobAborted) {
+      saw_abort = true;
+      EXPECT_EQ(record.job, 0u);
+      EXPECT_EQ(record.detail, deadline);
+      EXPECT_EQ(record.t_ns, cut.completion_ns);
+      EXPECT_GT(record.t_ns, deadline);
+    }
+  }
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST(DeadlineAbort, ClusterServiceFreesTheBackendForCompetingJobs) {
+  // Serialized backend (max_concurrent = 1): job 0 is a long run with a
+  // tight deadline, job 1 arrives behind it. With cancel_past_deadline the
+  // DES aborts job 0 at a barrier and job 1 both starts and finishes
+  // earlier on the simulated clock.
+  const auto g = test_graph();
+  std::vector<BackendConfig> backends(1);
+  backends[0].dataset = "abort";
+  backends[0].engine = Backend::kChaos;
+  backends[0].shared_structure = false;
+  backends[0].num_nodes = 2;
+  backends[0].max_concurrent = 1;
+
+  std::vector<Submission> submissions(2);
+  submissions[0].spec = pagerank_spec(12);
+  submissions[0].arrival_ns = 0;
+  submissions[0].dataset = "abort";
+  submissions[1].spec = pagerank_spec(2);
+  submissions[1].arrival_ns = 1;
+  submissions[1].dataset = "abort";
+
+  // Baseline (no cancellation) to size a mid-run deadline for job 0.
+  ClusterService baseline(g, backends, service_config());
+  const auto without = baseline.run(submissions);
+  ASSERT_EQ(without[0].completed, 2u);
+  ASSERT_EQ(without[0].deadline_aborts, 0u);
+
+  submissions[0].deadline_ns =
+      service::deadline_from(submissions[0].arrival_ns, without[0].stream_time.max_ns / 4);
+  backends[0].cancel_past_deadline = true;
+  ClusterService service(g, backends, service_config());
+  const auto with = service.run(submissions);
+
+  EXPECT_EQ(with[0].deadline_aborts, 1u);
+  EXPECT_GE(with[0].deadline_misses, 1u);
+  EXPECT_EQ(with[0].completed, 1u) << "the aborted job must not count as completed";
+  EXPECT_LT(with[0].e2e.max_ns, without[0].e2e.max_ns)
+      << "job 1 must see the backend freed early";
+}
+
+TEST(DeadlineAbort, QueuedPastDeadlineJobIsShedAtDispatch) {
+  const auto g = test_graph();
+  std::vector<BackendConfig> backends(1);
+  backends[0].dataset = "shed";
+  backends[0].num_nodes = 2;
+  backends[0].max_concurrent = 1;
+  backends[0].cancel_past_deadline = true;
+
+  std::vector<Submission> submissions(2);
+  submissions[0].spec = pagerank_spec(6);
+  submissions[0].arrival_ns = 0;
+  submissions[0].dataset = "shed";
+  // Job 1 queues behind job 0 and its deadline passes in the queue: it must
+  // be shed at dispatch, never reaching the backend sim.
+  submissions[1].spec = pagerank_spec(6);
+  submissions[1].arrival_ns = 1;
+  submissions[1].deadline_ns = 2;
+  submissions[1].dataset = "shed";
+
+  ClusterService service(g, backends, service_config());
+  const auto stats = service.run(submissions);
+  EXPECT_EQ(stats[0].completed, 1u);
+  EXPECT_EQ(stats[0].deadline_aborts, 1u);
+  EXPECT_GE(stats[0].deadline_misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline sentinel convention
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineSentinel, SharedKeyAndNormalizationEnforceTheConvention) {
+  // 0 is the reserved "no deadline" sentinel: it sorts after every real
+  // deadline in both EDF queues (they share this key), and deadline_from
+  // can never produce it — a genuine time-zero deadline stays a (tight,
+  // already-missed) real deadline instead of silently becoming infinitely
+  // lax.
+  EXPECT_EQ(service::edf_deadline_key(service::kNoDeadline),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_LT(service::edf_deadline_key(1), service::edf_deadline_key(service::kNoDeadline));
+  EXPECT_EQ(service::deadline_from(0, 0), 1u);
+  EXPECT_EQ(service::deadline_from(5, 7), 12u);
+}
+
+TEST(DeadlineSentinel, NormalizedZeroDeadlineDispatchesFirstNotLast) {
+  // Same shape as DeadlinePolicyDispatchesTightestFirstAndCountsMisses, but
+  // the "impossible" job's deadline is built with deadline_from(0, 0). Under
+  // the raw sentinel convention it would sort last; normalized it is the
+  // tightest deadline in the queue and dispatches first.
+  const auto g = test_graph();
+  std::vector<BackendConfig> backends(1);
+  backends[0].dataset = "edf0";
+  backends[0].num_nodes = 4;
+  backends[0].max_concurrent = 1;
+  backends[0].policy = service::AdmissionPolicy::kDeadline;
+  ClusterServiceConfig config = service_config();
+  config.des.record_trace = true;
+  ClusterService service(g, backends, config);
+
+  auto submissions = staggered_submissions(4, g, 0, "edf0");
+  submissions[0].deadline_ns = service::kNoDeadline;  // sorts last
+  submissions[1].deadline_ns = 400'000'000;
+  submissions[2].deadline_ns = 200'000'000;
+  submissions[3].deadline_ns = service::deadline_from(0, 0);  // genuine t=0 deadline
+  const auto stats = service.run(submissions);
+  EXPECT_EQ(stats[0].completed, 4u);
+  EXPECT_GE(stats[0].deadline_misses, 1u) << "the normalized 0-ns deadline is still a miss";
+
+  std::vector<std::uint32_t> dispatch_order;
+  for (const TraceRecord& record : service.last_trace()) {
+    if (record.code == TraceCode::kJobDispatched) dispatch_order.push_back(record.job);
+  }
+  EXPECT_EQ(dispatch_order, (std::vector<std::uint32_t>{0, 3, 2, 1}));
+}
+
 }  // namespace
 }  // namespace graphm::cluster

@@ -6,22 +6,30 @@
 // not influence the correctness of the final results").
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <thread>
+
 #include "algos/reference.hpp"
+#include "graphm/graphm.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/workloads.hpp"
 #include "test_helpers.hpp"
+#include "util/rng.hpp"
 
 namespace graphm::runtime {
 namespace {
 
-void expect_same_results(const RunMetrics& a, const RunMetrics& b, double tolerance) {
+void expect_same_results(const RunMetrics& a, const RunMetrics& b) {
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (std::size_t j = 0; j < a.jobs.size(); ++j) {
     const auto& ra = a.jobs[j].result;
     const auto& rb = b.jobs[j].result;
     ASSERT_EQ(ra.size(), rb.size()) << a.scheme << " vs " << b.scheme << " job " << j;
     for (std::size_t v = 0; v < ra.size(); ++v) {
-      ASSERT_NEAR(ra[v], rb[v], tolerance)
+      // Bit-identical across schemes for every algorithm — including
+      // PageRank, whose striped accumulation fixes the summation shape
+      // regardless of partition visit order (no tolerance escape hatch).
+      ASSERT_EQ(ra[v], rb[v])
           << a.scheme << " vs " << b.scheme << " job " << j << " ("
           << a.jobs[j].spec.label() << ") vertex " << v;
     }
@@ -52,10 +60,8 @@ TEST_P(SchemeEquivalence, AllSchemesAgree) {
   const auto c = run_jobs(Scheme::kConcurrent, store, jobs, config);
   const auto m = run_jobs(Scheme::kShared, store, jobs, config);
 
-  // Integer-valued algorithms (WCC/BFS) and min-based SSSP are exact;
-  // PageRank sums in a fixed per-iteration order, so 1e-9 is generous.
-  expect_same_results(s, c, 1e-9);
-  expect_same_results(s, m, 1e-9);
+  expect_same_results(s, c);
+  expect_same_results(s, m);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -76,7 +82,7 @@ TEST(SchemeEquivalence, SharedModeWithManyIdenticalJobs) {
   config.record_results = true;
   const auto s = run_jobs(Scheme::kSequential, store, jobs, config);
   const auto m = run_jobs(Scheme::kShared, store, jobs, config);
-  expect_same_results(s, m, 0.0);
+  expect_same_results(s, m);
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +111,17 @@ class ScalarFallback final : public algos::StreamingAlgorithm {
   }
   void process_edge(const graph::Edge& e) override { inner_->process_edge(e); }
   [[nodiscard]] bool parallel_safe() const override { return inner_->parallel_safe(); }
+  // Striped-accumulation plumbing forwards so the engine drives the wrapped
+  // algorithm in the same mode — but process_edge_block_striped is NOT
+  // forwarded: the base-class striped fallback (per-edge dst_stripe_of +
+  // process_edge) is what this wrapper exists to exercise.
+  [[nodiscard]] std::uint32_t dst_stripes() const override { return inner_->dst_stripes(); }
+  [[nodiscard]] std::uint32_t dst_stripe_of(graph::VertexId dst) const override {
+    return inner_->dst_stripe_of(dst);
+  }
+  void begin_partition(std::uint32_t pid, std::uint32_t num_partitions) override {
+    inner_->begin_partition(pid, num_partitions);
+  }
   void iteration_end() override { inner_->iteration_end(); }
   [[nodiscard]] bool done() const override { return inner_->done(); }
   [[nodiscard]] std::pair<const void*, std::size_t> values_span() const override {
@@ -193,7 +210,11 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BlockVsScalar,
 TEST(BlockVsScalar, EngineAgreesWithEngineFreeStreamingOracle) {
   // reference::run_streaming drives the same algorithms per-edge over the raw
   // edge list — no engine, no grid, no blocks. Exact for the order-independent
-  // algorithms; PageRank sums in a different edge order, hence the tolerance.
+  // algorithms; PageRank's engine runs group contributions per partition
+  // (striped-accumulation contract) while the engine-free oracle folds flat,
+  // a different rounding shape — hence the (tiny) tolerance here. Cross-
+  // scheme and cross-thread-count comparisons are exact; see
+  // PageRankBitIdentical below.
   const auto g = test::small_rmat(500, 6000, 11);
   const grid::GridStore store = test::make_grid(g, 4);
   for (const auto kind : {algos::AlgorithmKind::kWcc, algos::AlgorithmKind::kBfs,
@@ -240,6 +261,148 @@ TEST(BlockVsScalar, SortedRunJumpMatchesScalarOnSparseFrontiers) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// PageRank bit-identity: raw values_span() bytes (memcmp, not ASSERT_NEAR)
+// must agree across stream-thread counts {1, 2, 8}, across the -S/-C/-M
+// loader schemes, and across adversarially permuted partition visit orders —
+// the striped-accumulation guarantee.
+// ---------------------------------------------------------------------------
+
+/// DefaultLoader-alike that serves a job's active partitions in a seeded
+/// permutation that changes every iteration — the adversarial stand-in for
+/// the sharing scheduler reordering loads and mid-round attaches rotating a
+/// job's traversal.
+class PermutedLoader final : public grid::PartitionLoader {
+ public:
+  PermutedLoader(const storage::PartitionedStore& store, sim::Platform& platform,
+                 std::uint64_t seed)
+      : store_(store), platform_(platform), rng_(seed) {}
+
+  void register_iteration(std::uint32_t /*job_id*/,
+                          const std::vector<std::uint32_t>& active_partitions) override {
+    pending_.assign(active_partitions.begin(), active_partitions.end());
+    for (std::size_t i = pending_.size(); i > 1; --i) {
+      std::swap(pending_[i - 1], pending_[rng_.next_below(i)]);
+    }
+  }
+
+  std::optional<grid::PartitionView> acquire_next(std::uint32_t job_id) override {
+    if (pending_.empty()) return std::nullopt;
+    const std::uint32_t pid = pending_.back();
+    pending_.pop_back();
+    store_.read_partition(pid, buffer_, platform_, job_id);
+    grid::PartitionView view;
+    view.pid = pid;
+    const auto [vb, ve] = store_.meta().vertex_range(pid);
+    view.vertex_begin = vb;
+    view.vertex_end = ve;
+    grid::ChunkSpan span;
+    span.edges = buffer_.data();
+    span.edge_count = buffer_.size();
+    span.llc_base = reinterpret_cast<std::uint64_t>(buffer_.data());
+    view.chunks.push_back(span);
+    return view;
+  }
+
+  void release(std::uint32_t /*job_id*/, std::uint32_t /*pid*/) override {}
+
+ private:
+  const storage::PartitionedStore& store_;
+  sim::Platform& platform_;
+  util::SplitMix64 rng_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<graph::Edge> buffer_;
+};
+
+enum class LoaderKind { kDefault, kPermuted, kShared };
+
+/// Runs `num_jobs` copies of `spec` on one engine and returns each job's raw
+/// values_span() bytes, captured straight off the algorithm instance.
+std::vector<std::vector<unsigned char>> run_value_bytes(const grid::GridStore& store,
+                                                        const algos::JobSpec& spec,
+                                                        std::size_t num_jobs,
+                                                        std::size_t threads,
+                                                        LoaderKind kind) {
+  sim::Platform platform;
+  grid::StreamConfig config;
+  config.num_stream_threads = threads;
+  config.block_edges = 512;
+  config.model_llc = false;
+  grid::StreamEngine engine(store, platform, config);
+  std::unique_ptr<core::GraphM> graphm;
+  if (kind == LoaderKind::kShared) {
+    graphm = std::make_unique<core::GraphM>(store, platform);
+    graphm->init();
+  }
+  std::vector<std::unique_ptr<algos::StreamingAlgorithm>> algorithms;
+  std::vector<std::unique_ptr<grid::PartitionLoader>> loaders;
+  for (std::uint32_t j = 0; j < num_jobs; ++j) {
+    algorithms.push_back(algos::make_algorithm(spec));
+    switch (kind) {
+      case LoaderKind::kDefault:
+        loaders.push_back(std::make_unique<grid::DefaultLoader>(store, platform));
+        break;
+      case LoaderKind::kPermuted:
+        loaders.push_back(std::make_unique<PermutedLoader>(store, platform, 1000 + j));
+        break;
+      case LoaderKind::kShared:
+        loaders.push_back(graphm->make_loader(j));
+        break;
+    }
+  }
+  std::vector<std::thread> workers;
+  for (std::uint32_t j = 0; j < num_jobs; ++j) {
+    workers.emplace_back([&, j] { engine.run_job(j, *algorithms[j], *loaders[j]); });
+  }
+  for (auto& t : workers) t.join();
+  std::vector<std::vector<unsigned char>> bytes;
+  for (const auto& algorithm : algorithms) {
+    const auto [ptr, len] = algorithm->values_span();
+    const auto* p = static_cast<const unsigned char*>(ptr);
+    bytes.emplace_back(p, p + len);
+  }
+  return bytes;
+}
+
+TEST(PageRankBitIdentical, AcrossThreadCountsSchemesAndPartitionOrder) {
+  const auto g = test::small_rmat(700, 9000, 7);
+  const grid::GridStore store = test::make_grid(g, 4);
+  algos::JobSpec spec;
+  spec.kind = algos::AlgorithmKind::kPageRank;
+  spec.damping = 0.85;
+  spec.max_iterations = 6;
+
+  // The reference bytes: solo job, ascending partition order, one thread.
+  const auto baseline = run_value_bytes(store, spec, 1, 1, LoaderKind::kDefault).front();
+  ASSERT_FALSE(baseline.empty());
+
+  const auto expect_bytes = [&](const std::vector<std::vector<unsigned char>>& runs,
+                                const char* label, std::size_t threads) {
+    for (std::size_t j = 0; j < runs.size(); ++j) {
+      ASSERT_EQ(baseline.size(), runs[j].size()) << label << " job " << j;
+      EXPECT_EQ(0, std::memcmp(baseline.data(), runs[j].data(), baseline.size()))
+          << label << " job " << j << " at " << threads
+          << " stream threads: values_span bytes differ";
+    }
+  };
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    // -S: one job, private loader, ascending order.
+    expect_bytes(run_value_bytes(store, spec, 1, threads, LoaderKind::kDefault),
+                 "sequential", threads);
+    // -C: three concurrent jobs with private loaders sharing the engine pool.
+    expect_bytes(run_value_bytes(store, spec, 3, threads, LoaderKind::kDefault),
+                 "concurrent", threads);
+    // -M: three concurrent jobs through the GraphM sharing controller (its
+    // scheduler chooses the loading order).
+    expect_bytes(run_value_bytes(store, spec, 3, threads, LoaderKind::kShared),
+                 "shared", threads);
+    // Adversarial: partitions served in a per-iteration seeded permutation.
+    expect_bytes(run_value_bytes(store, spec, 2, threads, LoaderKind::kPermuted),
+                 "permuted", threads);
+  }
+}
+
 TEST(SchemeEquivalence, StaggeredArrivalsDoNotChangeResults) {
   const auto g = test::small_rmat(400, 5000, 9);
   const grid::GridStore store = test::make_grid(g, 4);
@@ -255,7 +418,7 @@ TEST(SchemeEquivalence, StaggeredArrivalsDoNotChangeResults) {
     staggered.arrival_offsets_ns[j] = j * 2'000'000;  // 2 ms apart
   }
   const auto m = run_jobs(Scheme::kShared, store, jobs, staggered);
-  expect_same_results(s, m, 1e-9);
+  expect_same_results(s, m);
 }
 
 }  // namespace

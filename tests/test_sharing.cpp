@@ -181,10 +181,10 @@ TEST(SharingController, ManyJobsProduceCorrectResults) {
     solo_engine.run_job(0, *solo, loader);
     const auto a = algorithms[j]->result();
     const auto b = solo->result();
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t v = 0; v < a.size(); ++v) {
-      EXPECT_NEAR(a[v], b[v], 1e-9) << "job " << j << " vertex " << v;
-    }
+    // Bit-identical for every kind, PageRank included: the sharing
+    // controller may reorder partition loads, but striped accumulation
+    // makes the summation shape order-independent.
+    ASSERT_EQ(a, b) << "job " << j;
   }
 }
 
