@@ -1,0 +1,107 @@
+// Crash-and-failover demo: two replica backends serve one dataset; a fault
+// plan crashes replica 0 mid-run for a fixed window. The heartbeat monitor
+// walks it alive -> suspect -> dead, its queue drains to replica 1,
+// dispatched-but-dead jobs are redispatched with backoff, and the backend
+// rejoins once the window clears — all on the simulated clock, so the printed
+// trace replays bit-identically at a fixed seed.
+#include <cstdio>
+
+#include "cluster/cluster_service.hpp"
+#include "cluster/faults.hpp"
+#include "graph/generators.hpp"
+#include "runtime/workloads.hpp"
+#include "util/table_printer.hpp"
+
+using namespace graphm;
+using namespace graphm::cluster;
+
+int main() {
+  const auto g = graph::generate_rmat(1 << 11, 1 << 14, 42);
+
+  std::vector<BackendConfig> backends(2);
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    backends[b].dataset = "social";
+    backends[b].num_nodes = 4;
+    backends[b].replica_id = b;
+  }
+  ClusterServiceConfig config;
+  config.des.seed = 0xFA11;
+  config.des.record_trace = true;  // keep the full trace for printing
+  ClusterService service(g, backends, config);
+
+  const std::size_t num_jobs = 10;
+  const auto specs = runtime::paper_mix(num_jobs, g.num_vertices(), 9);
+  std::vector<Submission> submissions(num_jobs);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    submissions[j].spec = specs[j];
+    submissions[j].arrival_ns = j * 1'000'000;  // one arrival per sim ms
+    submissions[j].dataset = "social";
+  }
+
+  // Replica 0 crashes half a millisecond in and stays down for 6 ms — past
+  // the monitor's dead_after threshold, so it is declared dead (queue drains
+  // to replica 1) and later rejoins.
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.backend = 0;
+  crash.at_ns = 500'000;
+  crash.duration_ns = 6'000'000;
+  plan.events.push_back(crash);
+
+  std::printf("replaying %zu jobs against 2 replicas; crash on replica 0 at "
+              "0.5 ms for 6 ms\n\n",
+              num_jobs);
+  const auto stats = service.run(submissions, plan);
+
+  // The fault/failover milestones of the trace, in simulated-time order.
+  std::printf("fault + failover trace (job completions elided):\n");
+  for (const TraceRecord& r : service.last_trace()) {
+    switch (r.code) {
+      case TraceCode::kFaultInjected:
+      case TraceCode::kFaultCleared:
+        std::printf("  %8.3f ms  %-11s backend=%u kind=%s\n", r.t_ns / 1e6,
+                    trace_code_name(r.code), r.actor,
+                    fault_kind_name(static_cast<FaultKind>(r.detail)));
+        break;
+      case TraceCode::kBackendSuspect:
+      case TraceCode::kBackendRejoined:
+        std::printf("  %8.3f ms  %-11s backend=%u\n", r.t_ns / 1e6,
+                    trace_code_name(r.code), r.actor);
+        break;
+      case TraceCode::kBackendDead:
+        std::printf("  %8.3f ms  %-11s backend=%u queue-drained=%llu\n", r.t_ns / 1e6,
+                    trace_code_name(r.code), r.actor,
+                    static_cast<unsigned long long>(r.detail));
+        break;
+      case TraceCode::kJobFailed:
+      case TraceCode::kJobRedispatched:
+      case TraceCode::kJobShed:
+        std::printf("  %8.3f ms  %-11s job=%u backend=%u attempt=%llu\n", r.t_ns / 1e6,
+                    trace_code_name(r.code), r.job, r.actor,
+                    static_cast<unsigned long long>(r.detail));
+        break;
+      default:
+        break;  // dispatch/superstep/complete records: too chatty to print
+    }
+  }
+
+  const FaultStats& fs = service.last_fault_stats();
+  std::printf("\nfailovers=%llu redispatched=%llu retries=%llu rejoins=%llu shed=%llu\n\n",
+              static_cast<unsigned long long>(fs.failovers),
+              static_cast<unsigned long long>(fs.redispatched_jobs),
+              static_cast<unsigned long long>(fs.retries),
+              static_cast<unsigned long long>(fs.rejoins),
+              static_cast<unsigned long long>(fs.failover_shed));
+
+  util::TablePrinter table("per-replica outcome (all jobs survive the crash)");
+  table.set_header({"replica", "completed", "failed", "redispatched in", "crashes"});
+  for (std::size_t b = 0; b < stats.size(); ++b) {
+    const BackendStats& s = stats[b];
+    table.add_row({std::to_string(s.replica_id), std::to_string(s.completed),
+                   std::to_string(s.failed), std::to_string(s.redispatched_in),
+                   std::to_string(s.crashes)});
+  }
+  table.print();
+  return 0;
+}

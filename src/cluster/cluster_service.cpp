@@ -57,8 +57,54 @@ ClusterService::ClusterService(const graph::EdgeList& graph,
                                ClusterServiceConfig config)
     : backends_(std::move(backends)), config_(std::move(config)) {
   assert(!backends_.empty());
-  shards_ = shard_by_source(graph, backends_.size());
-  profile_cache_.resize(backends_.size());
+  // Shard mapping — implicit (one shard per distinct dataset name, in
+  // first-appearance order: the pre-replication layout, bit-identical for
+  // unique-name configs) or explicit (shard_id / total_shards).
+  bool explicit_shards = false;
+  for (const BackendConfig& backend : backends_) {
+    if (backend.total_shards != 0) explicit_shards = true;
+  }
+  std::size_t num_shards = 0;
+  backend_shard_.resize(backends_.size());
+  if (explicit_shards) {
+    num_shards = backends_.front().total_shards;
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      assert(backends_[b].total_shards == num_shards);
+      assert(backends_[b].shard_id < num_shards);
+      backend_shard_[b] = backends_[b].shard_id;
+    }
+  } else {
+    std::vector<std::string> names;
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      std::size_t index = names.size();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == backends_[b].dataset) {
+          index = i;
+          break;
+        }
+      }
+      if (index == names.size()) names.push_back(backends_[b].dataset);
+      backend_shard_[b] = index;
+    }
+    num_shards = names.size();
+  }
+  shard_replicas_.resize(num_shards);
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    shard_replicas_[backend_shard_[b]].push_back(b);
+  }
+#ifndef NDEBUG
+  // Replicas (same dataset name) must serve the same shard — routing by name
+  // would otherwise silently read different data after a failover.
+  for (std::size_t a = 0; a < backends_.size(); ++a) {
+    for (std::size_t b = a + 1; b < backends_.size(); ++b) {
+      if (backends_[a].dataset == backends_[b].dataset) {
+        assert(backend_shard_[a] == backend_shard_[b]);
+      }
+    }
+  }
+#endif
+  shards_ = shard_by_source(graph, num_shards);
+  profile_cache_.resize(num_shards);
   placement_cache_.resize(backends_.size());
 }
 
@@ -69,31 +115,55 @@ bool same_spec(const algos::JobSpec& a, const algos::JobSpec& b) {
          a.max_iterations == b.max_iterations && a.root == b.root;
 }
 
-struct PendingJob {
+/// One submission's mutable serving record for the duration of a run().
+/// Owned by RunContext::tickets (deque: stable addresses); every queue and
+/// closure holds Ticket*, so a job keeps its identity across failovers.
+struct Ticket {
   std::uint32_t id = 0;
   std::uint64_t arrival_ns = 0;
   std::uint64_t deadline_ns = 0;
+  std::uint32_t shard = 0;
   const dist::JobProfile* profile = nullptr;
+  /// Replica set the job may run on (points into the service's routing
+  /// table, or the run's all-backends list for unnamed submissions).
+  const std::vector<std::size_t>* candidates = nullptr;
+  std::uint32_t failover_attempts = 0;
+  bool terminal = false;
+  service::Outcome outcome = service::Outcome::kCompleted;
+  std::uint32_t backend = kNoBackend;  // last backend it was admitted to
+  std::uint64_t completion_ns = 0;
 };
 
+enum class Health : int { kAlive = 0, kSuspect = 1, kDead = 2 };
+
 /// Per-backend serving state for one run(): admission queue + dispatch slots
-/// + sample accumulators. Event callbacks hold raw pointers into the run's
-/// deque, which never reallocates elements.
+/// + sample accumulators + health. Event callbacks hold raw pointers into
+/// the run's deque, which never reallocates elements.
 struct BackendState {
   std::uint32_t backend_id = 0;
   const BackendConfig* config = nullptr;
   std::unique_ptr<BackendSim> sim;
 
-  std::deque<PendingJob> ready;
-  std::deque<PendingJob> held;  // kBatchUntilK only
+  std::deque<Ticket*> ready;
+  std::deque<Ticket*> held;  // kBatchUntilK only
   std::uint64_t batch_epoch = 0;
   std::size_t running = 0;
+
+  Health health = Health::kAlive;
+  std::uint64_t last_beat_ns = 0;
+  /// Overlapping crash windows: restart only when the last one clears.
+  std::size_t crash_depth = 0;
 
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t deadline_aborts = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t redispatched_in = 0;
+  std::uint64_t failover_shed = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes = 0;
   std::vector<std::uint64_t> queue_wait_ns;
   std::vector<std::uint64_t> stream_ns;
   std::vector<std::uint64_t> e2e_ns;
@@ -105,6 +175,22 @@ struct BackendState {
   [[nodiscard]] std::size_t outstanding() const { return queued() + running; }
 };
 
+/// Everything one run() shares with its event closures. Stack-local in
+/// run(), strictly outliving loop.run().
+struct RunContext {
+  EventLoop& loop;
+  std::deque<BackendState>& states;
+  FailoverConfig failover;
+  FaultStats fstats;
+  std::deque<Ticket> tickets;
+  std::vector<std::size_t> all_backends;  // candidates of unnamed submissions
+  /// Non-terminal tickets — with arrivals_remaining, the monitor's liveness
+  /// condition (it stops rescheduling when no work can possibly remain, so
+  /// EventLoop::run() terminates).
+  std::uint64_t jobs_outstanding = 0;
+  std::size_t arrivals_remaining = 0;
+};
+
 /// Index of the next job to dispatch under the backend's policy: EDF picks
 /// the tightest real deadline via the shared service::edf_deadline_key
 /// (deadline-less jobs — the service::kNoDeadline sentinel — last, FIFO
@@ -112,162 +198,420 @@ struct BackendState {
 std::size_t pick_next(const BackendState& state) {
   if (state.config->policy != service::AdmissionPolicy::kDeadline) return 0;
   std::size_t best = 0;
-  auto key = [](const PendingJob& j) { return service::edf_deadline_key(j.deadline_ns); };
+  auto key = [](const Ticket* t) { return service::edf_deadline_key(t->deadline_ns); };
   for (std::size_t i = 1; i < state.ready.size(); ++i) {
     if (key(state.ready[i]) < key(state.ready[best])) best = i;
   }
   return best;
 }
 
-void try_dispatch(EventLoop& loop, BackendState& state);
+void try_dispatch(RunContext& ctx, BackendState& state);
+void admit(RunContext& ctx, BackendState& state, Ticket* t, bool redispatch);
+void retry_later(RunContext& ctx, Ticket* t);
+void reroute(RunContext& ctx, Ticket* t);
 
-void dispatch_one(EventLoop& loop, BackendState& state, PendingJob job) {
+/// Latches the ticket's terminal state; exactly one call wins, so every
+/// submission lands in exactly one outcome bucket (the conservation law).
+void finish(RunContext& ctx, Ticket* t, service::Outcome outcome) {
+  if (t->terminal) return;
+  t->terminal = true;
+  t->outcome = outcome;
+  t->completion_ns = ctx.loop.now_ns();
+  if (ctx.jobs_outstanding > 0) --ctx.jobs_outstanding;
+}
+
+/// Failover gave up on the job: no live replica, or the retry budget is
+/// spent. The one graceful-shed path (service::Outcome::kFailoverShed).
+void shed(RunContext& ctx, Ticket* t) {
+  ++ctx.fstats.failover_shed;
+  if (t->backend != kNoBackend) ++ctx.states[t->backend].failover_shed;
+  ctx.loop.trace(TraceCode::kJobShed, t->backend, t->id, t->failover_attempts);
+  finish(ctx, t, service::Outcome::kFailoverShed);
+}
+
+void dispatch_one(RunContext& ctx, BackendState& state, Ticket* t) {
+  EventLoop& loop = ctx.loop;
   const bool cancellable =
-      state.config->cancel_past_deadline && job.deadline_ns != service::kNoDeadline;
-  if (cancellable && loop.now_ns() > job.deadline_ns) {
+      state.config->cancel_past_deadline && t->deadline_ns != service::kNoDeadline;
+  if (cancellable && loop.now_ns() > t->deadline_ns) {
     // Shed at dispatch (JobService::cancel_past_deadline semantics): the
     // deadline passed while the job sat in the queue, so running it would
     // only burn the backend's disks and cores on a guaranteed miss.
     ++state.deadline_misses;
     ++state.deadline_aborts;
-    loop.trace(TraceCode::kJobAborted, state.backend_id, job.id, job.deadline_ns);
+    loop.trace(TraceCode::kJobAborted, state.backend_id, t->id, t->deadline_ns);
+    finish(ctx, t, service::Outcome::kDeadlineShed);
     return;
   }
   ++state.running;
   const std::uint64_t start_ns = loop.now_ns();
-  state.queue_wait_ns.push_back(start_ns - job.arrival_ns);
+  state.queue_wait_ns.push_back(start_ns - t->arrival_ns);
   state.sim->start_job(
-      job.id, *job.profile,
-      [&loop, &state, job, start_ns](bool aborted) {
+      t->id, *t->profile,
+      [&ctx, &state, t, start_ns](JobEnd end) {
+        EventLoop& loop = ctx.loop;
         const std::uint64_t completion = loop.now_ns();
+        if (end == JobEnd::kFailed) {
+          // The backend crashed under the job. No slot freed up in any
+          // useful sense (the whole backend is down), so no try_dispatch —
+          // the job goes to the failover path instead.
+          ++state.failed;
+          if (state.running > 0) --state.running;
+          retry_later(ctx, t);
+          return;
+        }
         state.last_completion_ns = std::max(state.last_completion_ns, completion);
-        if (aborted) {
+        if (end == JobEnd::kAborted) {
           ++state.deadline_misses;
           ++state.deadline_aborts;
+          finish(ctx, t, service::Outcome::kDeadlineAborted);
         } else {
           ++state.completed;
           state.stream_ns.push_back(completion - start_ns);
-          state.e2e_ns.push_back(completion - job.arrival_ns);
-          if (job.deadline_ns != service::kNoDeadline && completion > job.deadline_ns) {
+          state.e2e_ns.push_back(completion - t->arrival_ns);
+          if (t->deadline_ns != service::kNoDeadline && completion > t->deadline_ns) {
             ++state.deadline_misses;
           }
+          finish(ctx, t, service::Outcome::kCompleted);
         }
         --state.running;
-        try_dispatch(loop, state);
+        try_dispatch(ctx, state);
       },
-      cancellable ? job.deadline_ns : 0);
+      cancellable ? t->deadline_ns : 0);
 }
 
-void try_dispatch(EventLoop& loop, BackendState& state) {
+void try_dispatch(RunContext& ctx, BackendState& state) {
+  if (state.sim->crashed()) return;  // nothing dispatches into a dead machine
   while (state.running < std::max<std::size_t>(1, state.config->max_concurrent) &&
          !state.ready.empty()) {
     const std::size_t index = pick_next(state);
-    PendingJob job = state.ready[index];
+    Ticket* t = state.ready[index];
     state.ready.erase(state.ready.begin() + static_cast<std::ptrdiff_t>(index));
-    dispatch_one(loop, state, job);
+    dispatch_one(ctx, state, t);
   }
 }
 
-void release_batch(EventLoop& loop, BackendState& state) {
+void release_batch(RunContext& ctx, BackendState& state) {
   ++state.batch_epoch;  // invalidates any pending flush timer
   while (!state.held.empty()) {
     state.ready.push_back(state.held.front());
     state.held.pop_front();
   }
-  try_dispatch(loop, state);
+  try_dispatch(ctx, state);
 }
 
-void admit(EventLoop& loop, BackendState& state, PendingJob job) {
-  ++state.submitted;
-  if (!state.saw_arrival) {
-    state.saw_arrival = true;
-    state.first_arrival_ns = loop.now_ns();
-  }
-  if (state.queued() >= std::max<std::size_t>(1, state.config->max_queue_depth)) {
-    ++state.rejected;
-    loop.trace(TraceCode::kJobRejected, state.backend_id, job.id, state.queued());
+/// Schedules the job's next failover attempt after a capped exponential
+/// backoff, or sheds it once the budget is spent. Every wait consumes budget,
+/// so a job can never ping-pong forever against a permanently dead cluster.
+void retry_later(RunContext& ctx, Ticket* t) {
+  if (t->terminal) return;
+  if (t->failover_attempts >= ctx.failover.retry_budget) {
+    shed(ctx, t);
     return;
   }
-  if (state.config->policy == service::AdmissionPolicy::kBatchUntilK) {
-    state.held.push_back(job);
-    if (state.held.size() >= std::max<std::size_t>(1, state.config->batch_k)) {
-      release_batch(loop, state);
-    } else if (state.held.size() == 1) {
-      // The batch timer caps how long the oldest held job waits; a release
-      // in the meantime bumps the epoch and turns this into a no-op.
-      const std::uint64_t epoch = state.batch_epoch;
-      loop.schedule_after(state.config->batch_max_wait_ns, [&loop, &state, epoch] {
-        if (state.batch_epoch == epoch && !state.held.empty()) release_batch(loop, state);
-      });
+  ++t->failover_attempts;
+  ++ctx.fstats.retries;
+  const auto shift = std::min<std::uint32_t>(t->failover_attempts - 1, 16);
+  const std::uint64_t delay = std::min(ctx.failover.retry_backoff_cap_ns,
+                                       ctx.failover.retry_backoff_ns << shift);
+  ctx.loop.schedule_after(delay, [&ctx, t] {
+    if (t->terminal) return;
+    reroute(ctx, t);
+  });
+}
+
+/// Re-admits the job on the least-loaded live replica. "Live" here excludes
+/// both declared-dead backends and crashed-but-undetected ones — a failover
+/// retry already knows something is wrong, so it gets the stronger check
+/// fresh arrivals don't (those queue on an undetected crash and drain when
+/// the monitor declares it dead).
+void reroute(RunContext& ctx, Ticket* t) {
+  std::size_t best = ctx.states.size();
+  for (const std::size_t b : *t->candidates) {
+    BackendState& candidate = ctx.states[b];
+    if (candidate.health == Health::kDead || candidate.sim->crashed()) continue;
+    if (best == ctx.states.size() ||
+        candidate.outstanding() < ctx.states[best].outstanding()) {
+      best = b;
     }
+  }
+  if (best == ctx.states.size()) {
+    retry_later(ctx, t);  // nobody alive right now; back off and try again
     return;
   }
-  state.ready.push_back(job);
-  try_dispatch(loop, state);
+  BackendState& state = ctx.states[best];
+  ++ctx.fstats.redispatched_jobs;
+  ++state.redispatched_in;
+  ctx.loop.trace(TraceCode::kJobRedispatched, state.backend_id, t->id,
+                 t->failover_attempts);
+  admit(ctx, state, t, /*redispatch=*/true);
+}
+
+void admit(RunContext& ctx, BackendState& state, Ticket* t, bool redispatch) {
+  EventLoop& loop = ctx.loop;
+  t->backend = state.backend_id;
+  if (!redispatch) {
+    ++state.submitted;
+    if (!state.saw_arrival) {
+      state.saw_arrival = true;
+      state.first_arrival_ns = loop.now_ns();
+    }
+    if (state.queued() >= std::max<std::size_t>(1, state.config->max_queue_depth)) {
+      ++state.rejected;
+      loop.trace(TraceCode::kJobRejected, state.backend_id, t->id, state.queued());
+      finish(ctx, t, service::Outcome::kRejected);
+      return;
+    }
+    if (state.config->policy == service::AdmissionPolicy::kBatchUntilK) {
+      state.held.push_back(t);
+      if (state.held.size() >= std::max<std::size_t>(1, state.config->batch_k)) {
+        release_batch(ctx, state);
+      } else if (state.held.size() == 1) {
+        // The batch timer caps how long the oldest held job waits; a release
+        // in the meantime bumps the epoch and turns this into a no-op.
+        const std::uint64_t epoch = state.batch_epoch;
+        loop.schedule_after(state.config->batch_max_wait_ns, [&ctx, &state, epoch] {
+          if (state.batch_epoch == epoch && !state.held.empty()) {
+            release_batch(ctx, state);
+          }
+        });
+      }
+      return;
+    }
+  }
+  // Failover re-admissions skip batching (they have waited enough) and the
+  // depth bound (a drained queue must land somewhere, or jobs would be lost
+  // to backpressure through no fault of the client's pacing).
+  state.ready.push_back(t);
+  try_dispatch(ctx, state);
+}
+
+/// Declared dead: drain the whole admission queue to surviving replicas.
+/// Jobs already dispatched are not here — they fail via the crash's
+/// JobEnd::kFailed completions and retry on their own.
+void declare_dead(RunContext& ctx, BackendState& state) {
+  state.health = Health::kDead;
+  ++ctx.fstats.failovers;
+  ctx.loop.trace(TraceCode::kBackendDead, state.backend_id, 0,
+                 static_cast<std::uint64_t>(state.queued()));
+  ++state.batch_epoch;  // cancels any pending batch-release timer
+  std::deque<Ticket*> drained;
+  drained.swap(state.ready);
+  while (!state.held.empty()) {
+    drained.push_back(state.held.front());
+    state.held.pop_front();
+  }
+  for (Ticket* t : drained) {
+    if (!t->terminal) reroute(ctx, t);
+  }
+}
+
+/// The heartbeat monitor, rescheduling itself every heartbeat interval while
+/// work remains. A backend "beats" by being observed un-crashed at a tick.
+/// Consumes no randomness and emits no trace while everyone is healthy, so
+/// fault-free traces stay bit-identical to the pre-fault service.
+void monitor_tick(RunContext& ctx) {
+  const std::uint64_t now = ctx.loop.now_ns();
+  for (BackendState& state : ctx.states) {
+    if (!state.sim->crashed()) state.last_beat_ns = now;
+    const std::uint64_t silent = now - state.last_beat_ns;
+    switch (state.health) {
+      case Health::kAlive:
+        if (silent >= ctx.failover.suspect_after_ns) {
+          state.health = Health::kSuspect;
+          ++ctx.fstats.suspects;
+          ctx.loop.trace(TraceCode::kBackendSuspect, state.backend_id, 0, silent);
+        }
+        break;
+      case Health::kSuspect:
+        if (silent == 0) {
+          state.health = Health::kAlive;  // beat observed: a false alarm
+        } else if (silent >= ctx.failover.dead_after_ns) {
+          declare_dead(ctx, state);
+        }
+        break;
+      case Health::kDead:
+        if (silent == 0) {
+          // The fault window ended and the machine is back: rejoin. Its
+          // queue was drained at death, so it restarts empty and takes new
+          // routing immediately.
+          state.health = Health::kAlive;
+          ++ctx.fstats.rejoins;
+          ctx.loop.trace(TraceCode::kBackendRejoined, state.backend_id, 0, 0);
+          try_dispatch(ctx, state);
+        }
+        break;
+    }
+  }
+  if (ctx.arrivals_remaining > 0 || ctx.jobs_outstanding > 0) {
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, ctx.failover.heartbeat_interval_ns);
+    ctx.loop.schedule_after(interval, [&ctx] { monitor_tick(ctx); });
+  }
+}
+
+/// Lands one FaultEvent on its backend (and schedules the matching clear for
+/// windowed faults).
+void apply_fault(RunContext& ctx, const FaultEvent& fault) {
+  BackendState& state = ctx.states[fault.backend];
+  ++ctx.fstats.faults_injected;
+  ++state.faults_injected;
+  ctx.loop.trace(TraceCode::kFaultInjected, fault.backend, 0,
+                 static_cast<std::uint64_t>(fault.kind));
+  switch (fault.kind) {
+    case FaultKind::kCrash:
+      ++ctx.fstats.crashes;
+      ++state.crashes;
+      ++state.crash_depth;
+      // crash() fails every in-flight job; their completion handlers run
+      // synchronously here and queue the failover retries.
+      state.sim->crash();
+      break;
+    case FaultKind::kSlowdown:
+      ++ctx.fstats.slowdowns;
+      state.sim->set_slowdown(fault.factor);
+      break;
+    case FaultKind::kPartition:
+      ++ctx.fstats.partitions;
+      state.sim->partition(fault.boundary);
+      break;
+  }
+  if (fault.duration_ns == 0) return;  // permanent
+  ctx.loop.schedule_after(fault.duration_ns, [&ctx, fault] {
+    BackendState& state = ctx.states[fault.backend];
+    ctx.loop.trace(TraceCode::kFaultCleared, fault.backend, 0,
+                   static_cast<std::uint64_t>(fault.kind));
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        if (state.crash_depth > 0 && --state.crash_depth == 0) {
+          state.sim->restart();
+          // Anything still queued (crash never got declared dead) runs now;
+          // the monitor flips health back on its next beat.
+          try_dispatch(ctx, state);
+        }
+        break;
+      case FaultKind::kSlowdown:
+        state.sim->set_slowdown(1.0);
+        break;
+      case FaultKind::kPartition:
+        state.sim->heal_partition();
+        break;
+    }
+  });
 }
 
 }  // namespace
 
-const dist::JobProfile& ClusterService::profile_for(std::size_t backend,
+const dist::JobProfile& ClusterService::profile_for(std::size_t shard,
                                                     const algos::JobSpec& spec) {
-  std::deque<dist::JobProfile>& cache = profile_cache_[backend];
+  std::deque<dist::JobProfile>& cache = profile_cache_[shard];
   for (const dist::JobProfile& profile : cache) {
     if (same_spec(profile.spec, spec)) return profile;
   }
-  cache.push_back(dist::profile_job(shards_[backend], spec));
+  cache.push_back(dist::profile_job(shards_[shard], spec));
   return cache.back();
 }
 
-std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& submissions) {
+std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& submissions,
+                                              const FaultPlan& faults) {
   EventLoop loop(config_.des.seed, config_.des.record_trace);
 
   std::deque<BackendState> states;
   for (std::size_t b = 0; b < backends_.size(); ++b) {
+    const std::size_t shard = backend_shard_[b];
     states.emplace_back();
     BackendState& state = states.back();
     state.backend_id = static_cast<std::uint32_t>(b);
     state.config = &backends_[b];
     if (placement_cache_[b].edge_share.empty()) {
-      placement_cache_[b] = vertex_cut_placement(shards_[b], backends_[b].num_nodes);
+      placement_cache_[b] = vertex_cut_placement(shards_[shard], backends_[b].num_nodes);
     }
     state.sim = std::make_unique<BackendSim>(
-        loop, static_cast<std::uint32_t>(b), backends_[b].num_nodes, shards_[b],
+        loop, static_cast<std::uint32_t>(b), backends_[b].num_nodes, shards_[shard],
         config_.node, config_.des, backends_[b].engine, backends_[b].shared_structure,
         &placement_cache_[b]);
+  }
+
+  RunContext ctx{loop, states, config_.failover, {}, {}, {}, 0, submissions.size()};
+  ctx.all_backends.resize(backends_.size());
+  for (std::size_t b = 0; b < backends_.size(); ++b) ctx.all_backends[b] = b;
+
+  // The heartbeat monitor starts at t=0 and outlives the last job; it emits
+  // nothing and draws nothing while the cluster is healthy.
+  loop.schedule_at(0, [&ctx] { monitor_tick(ctx); });
+
+  // Fault injection: the plan replays in (time, backend, kind) order, each
+  // event optionally delayed by a draw from the loop's dedicated fault
+  // stream — the jitter stream never sees any of this, which is what keeps
+  // an empty plan bit-identical to the pre-fault service.
+  for (const FaultEvent& fault : faults.sorted()) {
+    if (fault.backend >= backends_.size()) continue;
+    std::uint64_t at_ns = fault.at_ns;
+    if (config_.des.fault_jitter_ns > 0) {
+      at_ns += loop.fault_rng().next_below(config_.des.fault_jitter_ns);
+    }
+    loop.schedule_at(at_ns, [&ctx, fault] { apply_fault(ctx, fault); });
   }
 
   unroutable_ = 0;
   std::uint32_t next_id = 0;
   for (const Submission& submission : submissions) {
     const std::uint32_t id = next_id++;
-    loop.schedule_at(submission.arrival_ns, [this, &loop, &states, &submission, id] {
-      // Routing: named datasets map to their backend; unnamed submissions go
-      // to the least-outstanding backend at arrival (ties: lowest index).
-      std::size_t target = states.size();
-      if (submission.dataset.empty()) {
-        target = 0;
-        for (std::size_t b = 1; b < states.size(); ++b) {
-          if (states[b].outstanding() < states[target].outstanding()) target = b;
-        }
-      } else {
-        for (std::size_t b = 0; b < states.size(); ++b) {
+    loop.schedule_at(submission.arrival_ns, [this, &ctx, &states, &submission, id] {
+      if (ctx.arrivals_remaining > 0) --ctx.arrivals_remaining;
+      // Routing: named datasets map to their shard's replica set; unnamed
+      // submissions may run anywhere. The pick is the least-outstanding
+      // non-dead candidate (ties: lowest index) — crashed-but-undetected
+      // backends still take arrivals, which drain when the monitor declares
+      // them dead.
+      const std::vector<std::size_t>* candidates = &ctx.all_backends;
+      if (!submission.dataset.empty()) {
+        std::size_t named = backends_.size();
+        for (std::size_t b = 0; b < backends_.size(); ++b) {
           if (backends_[b].dataset == submission.dataset) {
-            target = b;
+            named = b;
             break;
           }
         }
-        if (target == states.size()) {
+        if (named == backends_.size()) {
           ++unroutable_;
+          ctx.tickets.emplace_back();
+          Ticket* t = &ctx.tickets.back();
+          t->id = id;
+          t->arrival_ns = submission.arrival_ns;
+          ++ctx.jobs_outstanding;
+          finish(ctx, t, service::Outcome::kUnroutable);
           return;
         }
+        candidates = &shard_replicas_[backend_shard_[named]];
       }
-      BackendState& state = states[target];
-      PendingJob job;
-      job.id = id;
-      job.arrival_ns = submission.arrival_ns;
-      job.deadline_ns = submission.deadline_ns;
-      job.profile = &profile_for(target, submission.spec);
-      admit(loop, state, job);
+      std::size_t target = states.size();
+      for (const std::size_t b : *candidates) {
+        if (states[b].health == Health::kDead) continue;
+        if (target == states.size() ||
+            states[b].outstanding() < states[target].outstanding()) {
+          target = b;
+        }
+      }
+      ctx.tickets.emplace_back();
+      Ticket* t = &ctx.tickets.back();
+      t->id = id;
+      t->arrival_ns = submission.arrival_ns;
+      t->deadline_ns = submission.deadline_ns;
+      t->candidates = candidates;
+      ++ctx.jobs_outstanding;
+      if (target == states.size()) {
+        // Every replica is already declared dead: graceful shed at arrival.
+        shed(ctx, t);
+        return;
+      }
+      const std::size_t shard = backend_shard_[target];
+      t->shard = static_cast<std::uint32_t>(shard);
+      // Failover must stay within the shard the job was profiled against —
+      // replicas serve identical data, other shards do not.
+      t->candidates = &shard_replicas_[shard];
+      t->profile = &profile_for(shard, submission.spec);
+      admit(ctx, states[target], t, /*redispatch=*/false);
     });
   }
 
@@ -280,11 +624,18 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
     BackendStats stats;
     stats.dataset = backends_[b].dataset;
     stats.engine = backends_[b].engine;
+    stats.shard = static_cast<std::uint32_t>(backend_shard_[b]);
+    stats.replica_id = backends_[b].replica_id;
     stats.submitted = state.submitted;
     stats.rejected = state.rejected;
     stats.completed = state.completed;
     stats.deadline_misses = state.deadline_misses;
     stats.deadline_aborts = state.deadline_aborts;
+    stats.failed = state.failed;
+    stats.redispatched_in = state.redispatched_in;
+    stats.failover_shed = state.failover_shed;
+    stats.faults_injected = state.faults_injected;
+    stats.crashes = state.crashes;
     stats.queue_wait = service::summarize_latency(std::move(state.queue_wait_ns));
     stats.stream_time = service::summarize_latency(std::move(state.stream_ns));
     stats.e2e = service::summarize_latency(std::move(state.e2e_ns));
@@ -297,6 +648,23 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
     stats.feasible = state.sim->feasible();
     report.push_back(std::move(stats));
   }
+  last_job_reports_.clear();
+  last_job_reports_.reserve(ctx.tickets.size());
+  for (const Ticket& t : ctx.tickets) {
+    JobReport job_report;
+    job_report.job = t.id;
+    job_report.outcome = t.outcome;
+    job_report.shard = t.shard;
+    job_report.backend = t.backend;
+    job_report.attempts = t.failover_attempts;
+    job_report.completion_ns = t.completion_ns;
+    last_job_reports_.push_back(job_report);
+  }
+  // Tickets are created in arrival-time order; reports read better (and
+  // diff against submissions directly) in submission order.
+  std::sort(last_job_reports_.begin(), last_job_reports_.end(),
+            [](const JobReport& a, const JobReport& b) { return a.job < b.job; });
+  last_fault_stats_ = ctx.fstats;
   last_trace_hash_ = loop.trace_hash();
   last_events_ = loop.events_processed();
   last_trace_ = loop.take_trace_records();

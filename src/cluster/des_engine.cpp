@@ -55,7 +55,9 @@ struct BackendSim::JobRun {
   bool holds_structure = false;
   /// Abort-at-barrier deadline on the simulated clock (0 = never abort).
   std::uint64_t abort_deadline_ns = 0;
-  bool aborted = false;
+  /// Terminal latch: complete() fires on_complete exactly once, however many
+  /// paths (barrier, abort, crash sweep) reach it.
+  bool done = false;
 };
 
 BackendSim::BackendSim(EventLoop& loop, std::uint32_t backend_id, std::size_t num_nodes,
@@ -122,11 +124,17 @@ void BackendSim::start_job(std::uint32_t job_id, const dist::JobProfile& profile
   job->on_complete = std::move(on_complete);
   job->abort_deadline_ns = abort_deadline_ns;
   ++jobs_running_;
+  if (crashed_) {
+    // The dispatch raced the crash: nothing ran, so no dispatch trace — the
+    // job fails immediately and the failover layer decides what happens next.
+    complete(job, JobEnd::kFailed);
+    return;
+  }
   loop_.trace(TraceCode::kJobDispatched, backend_id_, job_id,
               static_cast<std::uint64_t>(nodes_.size()));
 
   if (profile.iterations() == 0) {
-    complete(job);
+    complete(job, JobEnd::kCompleted);
     return;
   }
 
@@ -167,7 +175,9 @@ void BackendSim::start_job(std::uint32_t job_id, const dist::JobProfile& profile
 void BackendSim::begin_ingest(JobRun* job) {
   structure_loads_ += 1.0;
   const std::size_t m = nodes_.size();
-  auto barrier = std::make_shared<Countdown>(m, [this, job] {
+  const std::uint64_t epoch = epoch_;
+  auto barrier = std::make_shared<Countdown>(m, [this, job, epoch] {
+    if (epoch != epoch_) return;  // the load died with a crash
     loop_.trace(TraceCode::kIngestDone, backend_id_, job->id,
                 static_cast<std::uint64_t>(structure_loads_));
     if (shared_structure_) {
@@ -189,7 +199,8 @@ void BackendSim::begin_ingest(JobRun* job) {
     const double bytes = structure_bytes_ * placement_.edge_share[n];
     const auto src = static_cast<std::uint32_t>(n);
     const auto dst = static_cast<std::uint32_t>((n + 1) % m);
-    nodes_[n]->disk.submit(job->id, bytes, [this, job, src, dst, bytes, barrier] {
+    nodes_[n]->disk.submit(job->id, bytes, [this, job, src, dst, bytes, barrier, epoch] {
+      if (epoch != epoch_) return;
       network_.transfer(src, dst, job->id, bytes, [barrier] { barrier->arrive(); });
     });
   }
@@ -205,16 +216,15 @@ void BackendSim::abort_job(JobRun* job) {
   // Deadline abort at a barrier event: the job submits no further disk,
   // core or network work from this point, so everything it reserved drains
   // on the simulated clock and competing jobs stop paying for it.
-  job->aborted = true;
   ++jobs_aborted_;
   loop_.trace(TraceCode::kJobAborted, backend_id_, job->id, job->abort_deadline_ns);
-  complete(job);
+  complete(job, JobEnd::kAborted);
 }
 
 void BackendSim::private_superstep(JobRun* job) {
   const dist::JobProfile& profile = *job->profile;
   if (job->iter >= profile.iterations()) {
-    complete(job);
+    complete(job, JobEnd::kCompleted);
     return;
   }
   // Superstep boundary (also the post-ingest entry): the only points a run
@@ -227,10 +237,13 @@ void BackendSim::private_superstep(JobRun* job) {
   const std::size_t m = nodes_.size();
   const std::size_t iter = job->iter;
   if (engine_ == Backend::kChaos) structure_loads_ += 1.0;  // one full-graph stream
+  const std::uint64_t epoch = epoch_;
 
-  auto barrier = std::make_shared<Countdown>(m, [this, job] {
+  auto barrier = std::make_shared<Countdown>(m, [this, job, epoch] {
+    if (epoch != epoch_) return;
     loop_.trace(TraceCode::kSuperstep, backend_id_, job->id, job->iter);
-    loop_.schedule_after(des_.superstep_overhead_ns, [this, job] {
+    loop_.schedule_after(des_.superstep_overhead_ns, [this, job, epoch] {
+      if (epoch != epoch_) return;
       ++job->iter;
       private_superstep(job);
     });
@@ -248,10 +261,13 @@ void BackendSim::private_superstep(JobRun* job) {
     const auto src = static_cast<std::uint32_t>(n);
     const auto dst = static_cast<std::uint32_t>((n + 1) % m);
     const double sync_bytes = sync_total / static_cast<double>(m);
-    const auto compute_then_sync = [this, job, iter, n, src, dst, sync_bytes, barrier] {
+    const auto compute_then_sync = [this, job, iter, n, src, dst, sync_bytes, barrier,
+                                    epoch] {
+      if (epoch != epoch_) return;
       nodes_[n]->cores.submit(
           job->id, compute_ns(*job->profile, iter, n),
-          [this, job, src, dst, sync_bytes, barrier] {
+          [this, job, src, dst, sync_bytes, barrier, epoch] {
+            if (epoch != epoch_) return;
             network_.transfer(src, dst, job->id, sync_bytes,
                               [barrier] { barrier->arrive(); });
           });
@@ -287,10 +303,13 @@ void BackendSim::shared_superstep() {
   structure_loads_ += 1.0;  // all riders share this full-graph pass
   const std::size_t m = nodes_.size();
   const std::uint64_t superstep = stream_supersteps_++;
+  const std::uint64_t epoch = epoch_;
 
-  auto barrier = std::make_shared<Countdown>(m, [this, superstep] {
+  auto barrier = std::make_shared<Countdown>(m, [this, superstep, epoch] {
+    if (epoch != epoch_) return;
     loop_.trace(TraceCode::kSuperstep, backend_id_, kSharedStreamOwner, superstep);
-    loop_.schedule_after(des_.superstep_overhead_ns, [this] {
+    loop_.schedule_after(des_.superstep_overhead_ns, [this, epoch] {
+      if (epoch != epoch_) return;
       // Advance every rider one superstep; finished jobs leave the stream
       // before the next pass begins (they never hold it open).
       std::vector<JobRun*> still_riding;
@@ -298,7 +317,7 @@ void BackendSim::shared_superstep() {
       for (JobRun* job : stream_attached_) {
         ++job->iter;
         if (job->iter >= job->profile->iterations()) {
-          complete(job);
+          complete(job, JobEnd::kCompleted);
         } else if (past_deadline(job)) {
           // Past-deadline riders leave the stream at the barrier: the next
           // pass no longer waits for their per-node compute or carries their
@@ -318,12 +337,14 @@ void BackendSim::shared_superstep() {
     const auto dst = static_cast<std::uint32_t>((n + 1) % m);
     nodes_[n]->disk.submit(
         kSharedStreamOwner, structure_bytes_ * placement_.edge_share[n],
-        [this, n, src, dst, barrier] {
+        [this, n, src, dst, barrier, epoch] {
+          if (epoch != epoch_) return;
           // Every rider computes over the streamed slice; the node leaves for
           // the barrier when its slowest rider has computed and the node's
           // aggregated update exchange is delivered.
           auto riders_done = std::make_shared<Countdown>(
-              stream_attached_.size(), [this, src, dst, barrier] {
+              stream_attached_.size(), [this, src, dst, barrier, epoch] {
+                if (epoch != epoch_) return;
                 double sync_bytes = 0.0;
                 for (JobRun* job : stream_attached_) {
                   sync_bytes +=
@@ -341,14 +362,66 @@ void BackendSim::shared_superstep() {
   }
 }
 
-void BackendSim::complete(JobRun* job) {
-  loop_.trace(TraceCode::kJobComplete, backend_id_, job->id, loop_.now_ns());
+void BackendSim::complete(JobRun* job, JobEnd end) {
+  if (job->done) return;
+  job->done = true;
+  if (end == JobEnd::kFailed) {
+    ++jobs_failed_;
+    loop_.trace(TraceCode::kJobFailed, backend_id_, job->id, epoch_);
+  } else {
+    // Aborted jobs keep the historical complete record (after kJobAborted):
+    // they reached a terminal barrier, just not their last one.
+    loop_.trace(TraceCode::kJobComplete, backend_id_, job->id, loop_.now_ns());
+  }
   if (jobs_running_ > 0) --jobs_running_;
   if (job->holds_structure && resident_structures_ > 0) {
     --resident_structures_;  // the private replica is dropped (aborts too)
   }
-  if (job->on_complete) job->on_complete(job->aborted);
+  if (job->on_complete) job->on_complete(end);
 }
+
+void BackendSim::crash() {
+  ++epoch_;  // every in-flight closure from before this instant now no-ops
+  crashed_ = true;
+  // Engine state dies with the machine: structure gone, stream stopped,
+  // nobody waiting on anything.
+  structure_ = Structure::kAbsent;
+  ingest_waiters_.clear();
+  resident_structures_ = 0;
+  stream_running_ = false;
+  stream_attached_.clear();
+  stream_pending_.clear();
+  for (auto& node : nodes_) {
+    node->cores.reset();
+    node->disk.reset();
+  }
+  network_.reset();
+  // Fail every job still in flight. JobRun objects are owned by jobs_ and
+  // never freed, so closures that captured them stay safe (and no-op on the
+  // epoch check anyway).
+  for (auto& job : jobs_) {
+    if (!job->done) complete(job.get(), JobEnd::kFailed);
+  }
+}
+
+void BackendSim::restart() { crashed_ = false; }
+
+void BackendSim::set_slowdown(double factor) {
+  for (auto& node : nodes_) {
+    node->cores.set_scale(factor);
+    node->disk.set_scale(factor);
+  }
+}
+
+void BackendSim::partition(double fraction) {
+  const std::size_t m = nodes_.size();
+  if (m < 2) return;
+  auto boundary = static_cast<std::size_t>(fraction * static_cast<double>(m));
+  boundary = std::clamp<std::size_t>(boundary, 1, m - 1);
+  network_.partition(boundary);
+}
+
+void BackendSim::heal_partition() { network_.heal(); }
 
 DesEstimate des_run(Backend backend, dist::DistScheme scheme,
                     const std::vector<dist::JobProfile>& profiles,
@@ -388,7 +461,7 @@ DesEstimate des_run(Backend backend, dist::DistScheme scheme,
         if (index >= jobs.size()) return;
         const std::size_t j = jobs[index];
         sim->start_job(static_cast<std::uint32_t>(j), profiles[j],
-                       [&loop, &estimate, chain, index, j](bool /*aborted*/) {
+                       [&loop, &estimate, chain, index, j](JobEnd /*end*/) {
                          estimate.job_completion_s[j] =
                              static_cast<double>(loop.now_ns()) / 1e9;
                          (*chain)(index + 1);
@@ -399,7 +472,7 @@ DesEstimate des_run(Backend backend, dist::DistScheme scheme,
       for (const std::size_t j : jobs) {
         loop.schedule_at(0, [&loop, &estimate, &profiles, sim, j] {
           sim->start_job(static_cast<std::uint32_t>(j), profiles[j],
-                         [&loop, &estimate, j](bool /*aborted*/) {
+                         [&loop, &estimate, j](JobEnd /*end*/) {
                            estimate.job_completion_s[j] =
                                static_cast<double>(loop.now_ns()) / 1e9;
                          });

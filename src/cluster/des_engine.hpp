@@ -48,7 +48,20 @@ struct DesConfig {
   /// Per-superstep synchronization cost beyond the messages themselves
   /// (master coordination, barrier bookkeeping).
   std::uint64_t superstep_overhead_ns = 100'000;
+  /// Uniform extra injection latency in [0, fault_jitter_ns) per fault event,
+  /// drawn from the loop's fault stream (EventLoop::fault_rng). 0 draws
+  /// nothing — plans land exactly at FaultEvent::at_ns.
+  std::uint64_t fault_jitter_ns = 0;
   bool record_trace = false;
+};
+
+/// How a simulated job ended. kFailed is fault-injection territory: the
+/// backend crashed under the job, so nothing about it completed — the
+/// failover layer in ClusterService decides whether to retry it elsewhere.
+enum class JobEnd : int {
+  kCompleted = 0,  // ran to its final superstep barrier
+  kAborted = 1,    // deadline abort at a superstep boundary
+  kFailed = 2,     // backend crash killed it mid-flight
 };
 
 /// Deterministic vertex-cut placement: per-node edge shares under the same
@@ -93,9 +106,8 @@ class BackendSim {
   BackendSim(const BackendSim&) = delete;
   BackendSim& operator=(const BackendSim&) = delete;
 
-  /// `aborted` reports whether the job was deadline-aborted before its final
-  /// superstep (false = ran to completion).
-  using CompletionFn = std::function<void(bool aborted)>;
+  /// Fires exactly once per start_job with how the job ended.
+  using CompletionFn = std::function<void(JobEnd end)>;
 
   /// Starts `profile` as job `job_id` at the loop's current time;
   /// `on_complete` fires at the job's final superstep barrier. `profile`
@@ -110,6 +122,26 @@ class BackendSim {
   /// its reservations early instead of running to completion.
   void start_job(std::uint32_t job_id, const dist::JobProfile& profile,
                  CompletionFn on_complete, std::uint64_t abort_deadline_ns = 0);
+
+  /// Crash fault: every resource forgets its reservations, the resident
+  /// structure and shared-stream state are dropped, and every in-flight job
+  /// ends with JobEnd::kFailed. Closures already on the event loop are
+  /// invalidated by an epoch bump — they fire later and no-op, so nothing
+  /// from before the crash can touch post-crash state. start_job while
+  /// crashed fails the job immediately (a dispatch racing the crash).
+  void crash();
+  /// Ends the crash window: the next start_job re-ingests from scratch.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Slowdown fault: service-time multiplier on every node's cores and disk;
+  /// 1.0 (or anything <= 0) restores full speed.
+  void set_slowdown(double factor);
+  /// Partition fault: cuts the node network at floor(fraction * num_nodes),
+  /// clamped so both sides are non-empty. No-op on single-node backends.
+  void partition(double fraction);
+  void heal_partition();
+  /// Jobs killed by crashes (JobEnd::kFailed).
+  [[nodiscard]] std::uint64_t jobs_failed() const { return jobs_failed_; }
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] double replication() const { return placement_.replication; }
@@ -131,7 +163,7 @@ class BackendSim {
   void private_superstep(JobRun* job);
   void attach_shared_stream(JobRun* job);
   void shared_superstep();
-  void complete(JobRun* job);
+  void complete(JobRun* job, JobEnd end);
   /// True iff the job carries an abort deadline the simulated clock has
   /// passed. Checked only at superstep-barrier events.
   [[nodiscard]] bool past_deadline(const JobRun* job) const;
@@ -161,6 +193,12 @@ class BackendSim {
   bool feasible_ = true;
   double structure_loads_ = 0.0;
   std::uint64_t jobs_aborted_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  bool crashed_ = false;
+  /// Bumped by crash(). Every closure the sim puts on the event loop
+  /// captures the epoch it was created under and no-ops on mismatch — the
+  /// cheap way to cancel all in-flight work without touching the queue.
+  std::uint64_t epoch_ = 0;
 
   // PowerGraph shared-structure state.
   enum class Structure { kAbsent, kLoading, kResident };

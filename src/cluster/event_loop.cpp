@@ -2,6 +2,26 @@
 
 namespace graphm::cluster {
 
+const char* trace_code_name(TraceCode code) {
+  switch (code) {
+    case TraceCode::kJobDispatched: return "dispatch";
+    case TraceCode::kIngestDone: return "ingest-done";
+    case TraceCode::kSuperstep: return "superstep";
+    case TraceCode::kJobComplete: return "complete";
+    case TraceCode::kJobRejected: return "reject";
+    case TraceCode::kJobAborted: return "abort";
+    case TraceCode::kFaultInjected: return "fault";
+    case TraceCode::kFaultCleared: return "fault-clear";
+    case TraceCode::kBackendSuspect: return "suspect";
+    case TraceCode::kBackendDead: return "dead";
+    case TraceCode::kBackendRejoined: return "rejoin";
+    case TraceCode::kJobFailed: return "job-failed";
+    case TraceCode::kJobRedispatched: return "redispatch";
+    case TraceCode::kJobShed: return "shed";
+  }
+  return "?";
+}
+
 void EventLoop::schedule_at(std::uint64_t t_ns, std::function<void()> fn) {
   queue_.push(Event{t_ns < now_ns_ ? now_ns_ : t_ns, next_seq_++, std::move(fn)});
 }

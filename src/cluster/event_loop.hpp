@@ -30,7 +30,21 @@ enum class TraceCode : std::uint32_t {
   kJobComplete = 4,    // job's final barrier (detail: completion time ns)
   kJobRejected = 5,    // admission backpressure (detail: queue depth)
   kJobAborted = 6,     // deadline abort at a superstep barrier (detail: deadline ns)
+  // Fault-injection and failover milestones (src/cluster/faults.*). None of
+  // these fire under an empty FaultPlan, which is what keeps fault-free
+  // traces bit-identical to the pre-fault subsystem.
+  kFaultInjected = 7,    // fault landed on a backend (detail: FaultKind)
+  kFaultCleared = 8,     // fault window ended (detail: FaultKind)
+  kBackendSuspect = 9,   // heartbeats missed (detail: ns since last beat)
+  kBackendDead = 10,     // declared dead; queue drains (detail: jobs drained)
+  kBackendRejoined = 11, // heartbeats resumed after the fault window
+  kJobFailed = 12,       // job died with its backend (detail: sim epoch)
+  kJobRedispatched = 13, // failover re-submission (actor: new backend, detail: attempt)
+  kJobShed = 14,         // failover gave up: replicas down / budget out (detail: attempts)
 };
+
+/// Human-readable code label (the failover example prints raw traces).
+const char* trace_code_name(TraceCode code);
 
 /// One entry of the reproducible event trace. POD with defaulted equality:
 /// two runs agree iff their record vectors compare equal.
@@ -46,12 +60,22 @@ struct TraceRecord {
 
 class EventLoop {
  public:
-  /// `seed` feeds the loop's RNG (service-time jitter, arrival synthesis);
-  /// `record_trace` keeps the full TraceRecord vector (the FNV hash is
-  /// accumulated regardless, so cheap determinism checks never pay for
-  /// storage).
+  /// Named RNG streams behind the loop's one seeded root. Stream ids feed
+  /// util::derive_stream_seed: kJitter (0) is the root itself, so the jitter
+  /// draw sequence is bit-identical to the pre-split loop; kFaults is an
+  /// independent sibling, so injecting a fault plan never perturbs the
+  /// jitter sequence (and vice versa).
+  static constexpr std::uint64_t kJitterStream = 0;
+  static constexpr std::uint64_t kFaultStream = 1;
+
+  /// `seed` is the root of the loop's named RNG streams (service-time
+  /// jitter, fault timing); `record_trace` keeps the full TraceRecord vector
+  /// (the FNV hash is accumulated regardless, so cheap determinism checks
+  /// never pay for storage).
   explicit EventLoop(std::uint64_t seed, bool record_trace = false)
-      : rng_(seed), record_trace_(record_trace) {}
+      : rng_(util::derive_stream_seed(seed, kJitterStream)),
+        fault_rng_(util::derive_stream_seed(seed, kFaultStream)),
+        record_trace_(record_trace) {}
 
   [[nodiscard]] std::uint64_t now_ns() const { return now_ns_; }
 
@@ -65,6 +89,9 @@ class EventLoop {
   void run();
 
   [[nodiscard]] util::SplitMix64& rng() { return rng_; }
+  /// The fault subsystem's own stream (fault timing noise, storm synthesis
+  /// riding the same root). Drawing from it never advances rng().
+  [[nodiscard]] util::SplitMix64& fault_rng() { return fault_rng_; }
 
   /// `base_ns` stretched by a uniform draw from [1-fraction, 1+fraction) —
   /// the seeded service-time noise that makes stragglers emerge without
@@ -107,7 +134,8 @@ class EventLoop {
   std::uint64_t now_ns_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  util::SplitMix64 rng_;
+  util::SplitMix64 rng_;        // kJitterStream
+  util::SplitMix64 fault_rng_;  // kFaultStream
 
   bool record_trace_ = false;
   std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV-1a offset basis

@@ -1,0 +1,57 @@
+#include "cluster/faults.hpp"
+
+#include <algorithm>
+
+#include "cluster/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace graphm::cluster {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const {
+  std::vector<FaultEvent> out = events;
+  std::stable_sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    if (a.backend != b.backend) return a.backend < b.backend;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+FaultPlan FaultPlan::storm(std::uint64_t seed, std::size_t num_backends,
+                           const StormConfig& config) {
+  FaultPlan plan;
+  if (num_backends == 0) return plan;
+  util::SplitMix64 rng(util::derive_stream_seed(seed, EventLoop::kFaultStream));
+  const auto duration = [&rng, &config]() {
+    if (config.max_duration_ns <= config.min_duration_ns) return config.min_duration_ns;
+    return config.min_duration_ns +
+           rng.next_below(config.max_duration_ns - config.min_duration_ns);
+  };
+  const auto emit = [&](FaultKind kind, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      FaultEvent event;
+      event.kind = kind;
+      event.backend = static_cast<std::uint32_t>(rng.next_below(num_backends));
+      event.at_ns = config.horizon_ns == 0 ? 0 : rng.next_below(config.horizon_ns);
+      event.duration_ns = duration();
+      event.factor = config.slowdown_factor;
+      event.boundary = 0.5;
+      plan.events.push_back(event);
+    }
+  };
+  emit(FaultKind::kCrash, config.crashes);
+  emit(FaultKind::kSlowdown, config.slowdowns);
+  emit(FaultKind::kPartition, config.partitions);
+  return plan;
+}
+
+}  // namespace graphm::cluster

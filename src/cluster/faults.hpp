@@ -1,0 +1,92 @@
+// Deterministic fault injection for the simulated cluster (docs/cluster.md,
+// "Fault model"). A FaultPlan is data: a list of simulated-clock events that
+// ClusterService::run replays through the event loop. All randomness a plan
+// needs (storm synthesis, optional injection jitter) comes from the loop's
+// dedicated fault stream (EventLoop::kFaultStream), so attaching a plan never
+// perturbs the service-time jitter sequence — the determinism contract the
+// empty-plan trace-hash pin in tests/test_cluster_faults.cpp enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphm::cluster {
+
+enum class FaultKind : int {
+  kCrash = 0,     // backend dies: all resources released, in-flight jobs fail
+  kSlowdown = 1,  // cores + disks serve `factor`x slower for the window
+  kPartition = 2, // network cut between node groups for the window
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault, targeting one backend at one simulated instant.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t backend = 0;
+  std::uint64_t at_ns = 0;
+  /// Window length; 0 means the fault never clears (permanent crash).
+  std::uint64_t duration_ns = 0;
+  /// kSlowdown: service-time multiplier while the window is open.
+  double factor = 4.0;
+  /// kPartition: fraction of the backend's nodes on the near side of the cut.
+  double boundary = 0.5;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// The knobs of FaultPlan::storm — how violent a synthesized storm is.
+struct StormConfig {
+  std::uint64_t horizon_ns = 10'000'000;  // faults land uniformly in [0, horizon)
+  std::size_t crashes = 1;
+  std::size_t slowdowns = 2;
+  std::size_t partitions = 1;
+  /// Window bounds for recoverable faults (crash windows included: a crash
+  /// with a window rejoins after it; permanent crashes need explicit events).
+  std::uint64_t min_duration_ns = 500'000;
+  std::uint64_t max_duration_ns = 3'000'000;
+  double slowdown_factor = 4.0;
+};
+
+/// A replayable set of faults. Plans are plain data — build them by hand for
+/// targeted tests or via storm() for chaos benches; either way the same plan
+/// + seed reproduces the same trace bit for bit.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Events ordered by (time, backend, kind) — the injection schedule. The
+  /// sort is total over the fields that matter, so plans built in any order
+  /// replay identically.
+  [[nodiscard]] std::vector<FaultEvent> sorted() const;
+
+  /// Synthesizes a random storm over `num_backends` backends. Draws from the
+  /// fault stream derived off `seed` (EventLoop::kFaultStream), matching the
+  /// stream a ClusterService run at the same seed uses — one root seed pins
+  /// both the storm and its replay.
+  static FaultPlan storm(std::uint64_t seed, std::size_t num_backends,
+                         const StormConfig& config = {});
+};
+
+/// Health-tracking and retry policy for replica failover, on the simulated
+/// clock. Defaults are sized for the microsecond-scale job mixes the tests
+/// and benches run; services with longer jobs should stretch everything
+/// proportionally.
+struct FailoverConfig {
+  /// Monitor cadence: backends "beat" by being observed alive at each tick.
+  std::uint64_t heartbeat_interval_ns = 500'000;
+  /// Silence before alive -> suspect (no routing change yet).
+  std::uint64_t suspect_after_ns = 1'500'000;
+  /// Silence before suspect -> dead: queue drains to replicas, dispatched
+  /// jobs become failover retries.
+  std::uint64_t dead_after_ns = 4'000'000;
+  /// Capped exponential backoff between failover attempts for a job.
+  std::uint64_t retry_backoff_ns = 1'000'000;
+  std::uint64_t retry_backoff_cap_ns = 16'000'000;
+  /// Failover attempts per job before it sheds (kFailoverShed).
+  std::uint32_t retry_budget = 6;
+};
+
+}  // namespace graphm::cluster

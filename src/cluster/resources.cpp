@@ -4,6 +4,9 @@ namespace graphm::cluster {
 
 FifoServer::Reservation FifoServer::submit(std::uint32_t owner, std::uint64_t service_ns,
                                            std::function<void()> done) {
+  if (scale_ != 1.0) {
+    service_ns = static_cast<std::uint64_t>(static_cast<double>(service_ns) * scale_);
+  }
   std::uint64_t start = busy_until_ns_ > loop_->now_ns() ? busy_until_ns_ : loop_->now_ns();
   if (switch_ns_ != 0 && last_owner_ != kNoOwner && last_owner_ != owner) {
     start += switch_ns_;
@@ -34,6 +37,13 @@ void Network::transfer(std::uint32_t src, std::uint32_t dst, std::uint32_t owner
     if (done) loop_->schedule_after(latency_ns_, std::move(done));
     return;
   }
+  if (partitioned_ && (src < boundary_) != (dst < boundary_)) {
+    // Cross-cut message: park it. It pays its serialization when heal()
+    // re-submits it, so total_bytes_ is charged exactly once, on delivery.
+    held_.push_back(HeldTransfer{src, dst, owner, bytes, std::move(done)});
+    ++held_total_;
+    return;
+  }
   total_bytes_ += bytes;
   const auto reservation = egress_[src].submit(owner, bytes, nullptr);
   // Cut-through: the message head arrives latency_ns after the sender starts
@@ -48,6 +58,30 @@ void Network::transfer(std::uint32_t src, std::uint32_t dst, std::uint32_t owner
       [this, dst, owner, bytes, done = std::move(done)]() mutable {
         ingress_[dst].submit(owner, bytes, std::move(done));
       });
+}
+
+void Network::partition(std::size_t boundary) {
+  partitioned_ = true;
+  boundary_ = boundary;
+}
+
+void Network::heal() {
+  partitioned_ = false;
+  // Swap-out first: a released transfer re-enters transfer(), which must see
+  // an empty hold queue (and could in principle re-hold under a nested
+  // partition — not lose messages to iterator invalidation).
+  std::vector<HeldTransfer> released;
+  released.swap(held_);
+  for (auto& t : released) {
+    transfer(t.src, t.dst, t.owner, t.bytes, std::move(t.done));
+  }
+}
+
+void Network::reset() {
+  partitioned_ = false;
+  held_.clear();  // in-flight messages die with the crashed backend
+  for (auto& link : egress_) link.reset();
+  for (auto& link : ingress_) link.reset();
 }
 
 }  // namespace graphm::cluster

@@ -46,6 +46,19 @@ class FifoServer {
   /// Total reserved service time (excludes switch costs) — utilization probe.
   [[nodiscard]] std::uint64_t busy_ns() const { return busy_ns_; }
 
+  /// Service-time multiplier for injected slowdowns: submissions while
+  /// scale > 1 take scale× longer. Values <= 0 restore 1.0. The multiply is
+  /// gated on scale != 1 so unfaulted runs take the exact pre-fault path.
+  void set_scale(double scale) { scale_ = scale <= 0.0 ? 1.0 : scale; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Forgets all reservations (crash: the backend's hardware restarts idle).
+  /// Cumulative stats survive — a crash should not erase utilization history.
+  void reset() {
+    busy_until_ns_ = 0;
+    last_owner_ = kNoOwner;
+  }
+
  private:
   EventLoop* loop_;
   std::uint64_t switch_ns_;
@@ -53,6 +66,7 @@ class FifoServer {
   std::uint64_t busy_ns_ = 0;
   std::uint32_t last_owner_ = kNoOwner;
   std::uint64_t switches_ = 0;
+  double scale_ = 1.0;
 };
 
 /// Byte-rate façade over FifoServer: disks and NIC directions.
@@ -75,6 +89,9 @@ class BandwidthServer {
   [[nodiscard]] double total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t switches() const { return server_.switches(); }
   [[nodiscard]] std::uint64_t busy_ns() const { return server_.busy_ns(); }
+
+  void set_scale(double scale) { server_.set_scale(scale); }
+  void reset() { server_.reset(); }
 
  private:
   FifoServer server_;
@@ -115,12 +132,37 @@ class Network {
 
   [[nodiscard]] double total_bytes() const { return total_bytes_; }
 
+  /// Splits the cluster into [0, boundary) vs [boundary, n): transfers that
+  /// would cross the cut are held (in submission order) instead of delivered.
+  /// Intra-group traffic flows normally — a partition slows barriers, it does
+  /// not stop same-side work.
+  void partition(std::size_t boundary);
+  /// Ends the partition and releases held transfers in the order they were
+  /// submitted, re-entering transfer() so they pay serialization from "now".
+  void heal();
+  /// Crash semantics: drops held transfers and forgets link reservations.
+  void reset();
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+  [[nodiscard]] std::uint64_t held_transfers() const { return held_total_; }
+
  private:
+  struct HeldTransfer {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t owner = 0;
+    double bytes = 0.0;
+    std::function<void()> done;
+  };
+
   EventLoop* loop_;
   std::uint64_t latency_ns_;
   std::vector<BandwidthServer> egress_;
   std::vector<BandwidthServer> ingress_;
   double total_bytes_ = 0.0;
+  bool partitioned_ = false;
+  std::size_t boundary_ = 0;
+  std::vector<HeldTransfer> held_;
+  std::uint64_t held_total_ = 0;
 };
 
 /// Fires `done` once `arrive()` has been called `count` times — the superstep

@@ -14,6 +14,18 @@ const char* admission_policy_name(AdmissionPolicy policy) {
   return "?";
 }
 
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kDeadlineShed: return "deadline-shed";
+    case Outcome::kDeadlineAborted: return "deadline-aborted";
+    case Outcome::kFailoverShed: return "failover-shed";
+    case Outcome::kUnroutable: return "unroutable";
+  }
+  return "?";
+}
+
 AdmissionQueue::AdmissionQueue(Config config) : config_(config) {}
 
 bool AdmissionQueue::push(JobRecordPtr job, std::uint64_t now_ns) {

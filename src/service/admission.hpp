@@ -40,6 +40,22 @@ enum class AdmissionPolicy : int { kImmediate = 0, kBatchUntilK = 1, kDeadline =
 
 const char* admission_policy_name(AdmissionPolicy policy);
 
+/// Terminal outcome of a submitted job — the shared vocabulary the local
+/// service and the simulated cluster both account in. Every submission lands
+/// in exactly ONE of these (the conservation law the fault tests pin):
+/// submitted == completed + rejected + deadline_shed + deadline_aborted +
+/// failover_shed + unroutable.
+enum class Outcome : int {
+  kCompleted = 0,        // ran to its final barrier
+  kRejected = 1,         // backpressure at admission (queue full)
+  kDeadlineShed = 2,     // deadline already unmeetable at dispatch time
+  kDeadlineAborted = 3,  // started, aborted at a superstep past its deadline
+  kFailoverShed = 4,     // every replica down or the retry budget ran out
+  kUnroutable = 5,       // no backend serves the requested dataset
+};
+
+const char* outcome_name(Outcome outcome);
+
 // ---------------------------------------------------------------------------
 // Deadline convention (repo-wide, local service and simulated cluster alike):
 // deadline_ns is an absolute clock value and 0 is the reserved "no deadline"

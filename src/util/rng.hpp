@@ -31,6 +31,19 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Named-stream seed derivation: one root seed fans out into independent
+/// child streams so separate consumers (service-time jitter vs. fault
+/// injection) never perturb each other's draw sequences. Stream 0 is the
+/// root itself — pre-split consumers seeded SplitMix64 with the raw root,
+/// and stream 0 keeps their output bit-identical. Other stream ids run the
+/// SplitMix64 finalizer over a root/id mix, so siblings are statistically
+/// independent of the root stream and of each other.
+inline std::uint64_t derive_stream_seed(std::uint64_t root, std::uint64_t stream) {
+  if (stream == 0) return root;
+  SplitMix64 mix(root ^ (stream * 0xA3EC647659359ACDULL));
+  return mix.next();
+}
+
 /// Draws from Exp(rate); used for Poisson-process inter-arrival times.
 inline double exponential_sample(SplitMix64& rng, double rate) {
   // Inverse-CDF; next_double() < 1 so the log argument stays positive.

@@ -531,9 +531,9 @@ TEST(DeadlineAbort, DispatchedJobAbortsAtBarrierAndStopsReservingResources) {
     bool aborted = false;
     loop.schedule_at(0, [&] {
       sim.start_job(0, profile,
-                    [&loop, &completion_ns, &aborted](bool was_aborted) {
+                    [&loop, &completion_ns, &aborted](JobEnd end) {
                       completion_ns = loop.now_ns();
-                      aborted = was_aborted;
+                      aborted = end == JobEnd::kAborted;
                     },
                     abort_deadline_ns);
     });
