@@ -8,7 +8,10 @@
 //
 // Emits BENCH_cluster_faults.json. GRAPHM_CLUSTER_SMOKE=1 shrinks the trace
 // to 48 hours on a tiny RMAT graph for the CI smoke invocation;
-// GRAPHM_BENCH_OUT overrides the output path.
+// GRAPHM_BENCH_OUT overrides the output path. GRAPHM_TRACE=<path> records the
+// storm run's DES trace and writes it there as Perfetto-loadable Chrome JSON
+// (crash -> drain -> redispatch shows as job spans migrating between the two
+// replica tracks), plus a metrics snapshot next to it (<path>.metrics.json).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +21,10 @@
 #include "bench_common.hpp"
 #include "cluster/cluster_service.hpp"
 #include "cluster/faults.hpp"
+#include "cluster/trace_export.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/job_queue.hpp"
 #include "service/service_stats.hpp"
 
@@ -105,8 +111,10 @@ int main() {
     backends[b].num_nodes = tiny ? 8 : 32;
     backends[b].replica_id = b;
   }
+  const char* trace_path = obs::trace_env_path();
   ClusterServiceConfig config;
   config.des.seed = 0xC4A05;
+  config.des.record_trace = trace_path != nullptr;
   ClusterService service(g, backends, config);
 
   // Storm sized to the arrival window so faults land while traffic flows.
@@ -151,8 +159,27 @@ int main() {
   const service::LatencySummary faulted = e2e_summary(storm_reports, submissions);
   const std::uint64_t storm_completed = completed_of(storm_reports);
   const bool storm_conserved = conserved(storm_reports, submissions.size());
-
-  service.run(submissions, plan);
+  const auto storm_stats = service.run(submissions, plan);
+  // (That re-run regenerates last_trace() identically — record_trace keeps the
+  // storm timeline available for export below while also serving as the
+  // determinism witness.)
+  if (trace_path != nullptr) {
+    if (!cluster::export_des_trace(trace_path, service.last_trace())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    obs::Registry registry;
+    service.publish_metrics(registry, storm_stats);
+    const std::string metrics_path = std::string(trace_path) + ".metrics.json";
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf != nullptr) {
+      const std::string json = registry.json();
+      std::fwrite(json.data(), 1, json.size(), mf);
+      std::fclose(mf);
+    }
+    std::printf("wrote %s (%zu trace records)\n", trace_path,
+                service.last_trace().size());
+  }
   const bool deterministic = service.last_trace_hash() == storm_hash &&
                              service.last_events() == storm_events;
 

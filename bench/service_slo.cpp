@@ -14,6 +14,9 @@
 //
 // GRAPHM_SERVICE_SMOKE=1 shrinks the graph and job counts to a few seconds
 // (the CI smoke invocation). GRAPHM_BENCH_OUT overrides the output path.
+// GRAPHM_TRACE=<path> turns the flight recorder on and writes a
+// Perfetto-loadable Chrome trace of the week-trace service run there, plus a
+// metrics snapshot next to it (<path>.metrics.json).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +26,8 @@
 
 #include "graph/generators.hpp"
 #include "grid/grid_store.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/job_queue.hpp"
 #include "runtime/workloads.hpp"
 #include "service/job_service.hpp"
@@ -63,6 +68,18 @@ ModeResult run_mode(const grid::GridStore& store, const std::vector<algos::JobSp
   result.mode = label;
   result.stats = svc.stats();
   result.sharing = svc.sharing_stats();
+  if (const char* trace_path = obs::trace_env_path();
+      trace_path != nullptr && mode == service::ExecMode::kShared) {
+    // Metrics snapshot next to the trace; each shared-mode run overwrites,
+    // so the file ends up describing the final (week-trace) service run.
+    const std::string metrics_path = std::string(trace_path) + ".metrics.json";
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf != nullptr) {
+      const std::string json = svc.metrics_json();
+      std::fwrite(json.data(), 1, json.size(), mf);
+      std::fclose(mf);
+    }
+  }
   return result;
 }
 
@@ -109,6 +126,8 @@ void print_shape(const std::string& claim, bool pass) {
 
 int main() {
   const bool tiny = smoke();
+  const char* trace_path = obs::trace_env_path();
+  if (trace_path != nullptr) obs::Tracer::global().set_enabled(true);
   // The graph must overflow the simulated LLC (256 KB) even in smoke mode:
   // sharing's DRAM-stall advantage — the modeled signal the SHAPE lines
   // check — only exists when streams don't fit the cache.
@@ -196,8 +215,22 @@ int main() {
   const auto trace_offsets = runtime::trace_to_arrivals(
       trace, /*job_duration_hours=*/tiny ? 8.0 : 12.0, /*hour_ns=*/kMeanScaleNs / 2,
       num_jobs);
+  // The exported trace covers exactly the week-trace service-mode run: drop
+  // the sweep's events first, export right after.
+  if (trace_path != nullptr) obs::Tracer::global().clear();
   const auto svc_trace = run_mode(store, jobs, trace_offsets, service::ExecMode::kShared,
                                   workers, "service");
+  if (trace_path != nullptr) {
+    if (obs::export_tracer(trace_path, obs::Tracer::global(),
+                           "graphm service (live clock)")) {
+      std::printf("wrote %s (%llu dropped)\n", trace_path,
+                  static_cast<unsigned long long>(obs::Tracer::global().dropped()));
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    obs::Tracer::global().set_enabled(false);
+  }
   const auto iso_trace = run_mode(store, jobs, trace_offsets, service::ExecMode::kIsolated,
                                   workers, "isolated");
   const auto seq_trace = run_mode(store, jobs, trace_offsets, service::ExecMode::kIsolated,

@@ -671,4 +671,36 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
   return report;
 }
 
+void ClusterService::publish_metrics(obs::Registry& registry,
+                                     const std::vector<BackendStats>& stats) const {
+  registry.set_counter("graphm.cluster.unroutable", unroutable_);
+  registry.set_counter("graphm.cluster.events", last_events_);
+  const FaultStats& f = last_fault_stats_;
+  registry.set_counter("graphm.cluster.faults_injected", f.faults_injected);
+  registry.set_counter("graphm.cluster.crashes", f.crashes);
+  registry.set_counter("graphm.cluster.slowdowns", f.slowdowns);
+  registry.set_counter("graphm.cluster.partitions", f.partitions);
+  registry.set_counter("graphm.cluster.suspects", f.suspects);
+  registry.set_counter("graphm.cluster.failovers", f.failovers);
+  registry.set_counter("graphm.cluster.rejoins", f.rejoins);
+  registry.set_counter("graphm.cluster.redispatched_jobs", f.redispatched_jobs);
+  registry.set_counter("graphm.cluster.retries", f.retries);
+  registry.set_counter("graphm.cluster.failover_shed", f.failover_shed);
+
+  for (std::size_t b = 0; b < stats.size(); ++b) {
+    const BackendStats& s = stats[b];
+    const std::string prefix = "graphm.cluster.backend" + std::to_string(b) + ".";
+    registry.set_counter(prefix + "submitted", s.submitted);
+    registry.set_counter(prefix + "rejected", s.rejected);
+    registry.set_counter(prefix + "completed", s.completed);
+    registry.set_counter(prefix + "deadline_misses", s.deadline_misses);
+    registry.set_counter(prefix + "deadline_aborts", s.deadline_aborts);
+    registry.set_counter(prefix + "failed", s.failed);
+    registry.set_counter(prefix + "redispatched_in", s.redispatched_in);
+    registry.set_counter(prefix + "failover_shed", s.failover_shed);
+    registry.set_counter(prefix + "faults_injected", s.faults_injected);
+    registry.set_counter(prefix + "crashes", s.crashes);
+  }
+}
+
 }  // namespace graphm::cluster

@@ -40,6 +40,7 @@
 #include "cluster/des_engine.hpp"
 #include "cluster/faults.hpp"
 #include "graph/edge_list.hpp"
+#include "obs/metrics.hpp"
 #include "service/admission.hpp"
 #include "service/service_stats.hpp"
 
@@ -210,6 +211,13 @@ class ClusterService {
     return last_job_reports_;
   }
   [[nodiscard]] const FaultStats& last_fault_stats() const { return last_fault_stats_; }
+
+  /// Re-homes the last run's fault/failover counters and `stats` (the
+  /// vector run() returned) into `registry`: whole-run totals under
+  /// `graphm.cluster.*`, per-backend counters under
+  /// `graphm.cluster.backend<i>.*` (publish-style, idempotent).
+  void publish_metrics(obs::Registry& registry,
+                       const std::vector<BackendStats>& stats) const;
 
  private:
   /// One dist::JobProfile per distinct spec a shard has served (replicas of

@@ -1,0 +1,177 @@
+#include "cluster/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/faults.hpp"
+
+namespace graphm::cluster {
+
+namespace {
+
+std::string fault_instant_name(const char* prefix, std::uint64_t detail) {
+  const auto kind = static_cast<FaultKind>(detail);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kSlowdown:
+    case FaultKind::kPartition:
+      return std::string(prefix) + " " + fault_kind_name(kind);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+obs::TraceProcess des_trace_process(const std::vector<TraceRecord>& records,
+                                    std::uint32_t pid) {
+  obs::TraceProcess process;
+  process.pid = pid;
+  process.name = "graphm cluster (simulated clock)";
+
+  std::uint32_t max_backend = 0;
+  std::uint64_t last_ns = 0;
+  for (const TraceRecord& r : records) {
+    max_backend = std::max(max_backend, r.actor);
+    last_ns = std::max(last_ns, r.t_ns);
+  }
+  process.tracks.reserve(max_backend + 1);
+  for (std::uint32_t b = 0; b <= max_backend; ++b) {
+    process.tracks.push_back("backend " + std::to_string(b));
+  }
+
+  const auto instant = [&process](const TraceRecord& r, std::string name) {
+    obs::TraceEvent e;
+    e.ts_ns = r.t_ns;
+    e.track = r.actor;
+    e.job = r.job;
+    e.detail = r.detail;
+    e.phase = 'i';
+    const std::size_t n = std::min(name.size(), obs::TraceEvent::kNameCapacity);
+    name.copy(e.name, n);
+    e.name[n] = '\0';
+    process.events.push_back(e);
+  };
+
+  // A backend dispatches up to max_concurrent jobs at once, and complete
+  // ('X') spans on one Chrome track must nest, never partially overlap. Each
+  // backend therefore owns a set of lanes: a dispatch takes the first free
+  // lane (lane 0 is the "backend N" track itself; overflow lanes appear as
+  // "backend N (slot S)" tracks) and its completion frees it. A lone job per
+  // backend never leaves lane 0, so single-occupancy traces keep the plain
+  // one-track-per-backend shape.
+  struct Lane {
+    std::uint32_t track = 0;
+    bool busy = false;
+  };
+  std::vector<std::vector<Lane>> lanes(max_backend + 1);
+  for (std::uint32_t b = 0; b <= max_backend; ++b) lanes[b].push_back({b, false});
+
+  const auto acquire_lane = [&process, &lanes](std::uint32_t backend) {
+    for (Lane& lane : lanes[backend]) {
+      if (!lane.busy) {
+        lane.busy = true;
+        return lane.track;
+      }
+    }
+    const auto track = static_cast<std::uint32_t>(process.tracks.size());
+    process.tracks.push_back("backend " + std::to_string(backend) + " (slot " +
+                             std::to_string(lanes[backend].size()) + ")");
+    lanes[backend].push_back({track, true});
+    return track;
+  };
+
+  // One open span per (job, dispatch episode): a redispatched job opens a
+  // fresh span on its new backend, so failover shows as track migration.
+  struct OpenSpan {
+    std::uint64_t start_ns = 0;
+    std::uint32_t backend = 0;
+    std::uint32_t track = 0;
+  };
+  std::map<std::uint32_t, OpenSpan> open;
+
+  const auto close = [&process, &open, &lanes](std::uint32_t job,
+                                               std::uint64_t end_ns,
+                                               const char* suffix) {
+    const auto it = open.find(job);
+    if (it == open.end()) return;
+    obs::TraceEvent e;
+    e.ts_ns = it->second.start_ns;
+    e.dur_ns = end_ns >= it->second.start_ns ? end_ns - it->second.start_ns : 0;
+    e.track = it->second.track;
+    e.job = job;
+    e.phase = 'X';
+    const std::string name = "job " + std::to_string(job) + suffix;
+    const std::size_t n = std::min(name.size(), obs::TraceEvent::kNameCapacity);
+    name.copy(e.name, n);
+    e.name[n] = '\0';
+    process.events.push_back(e);
+    for (Lane& lane : lanes[it->second.backend]) {
+      if (lane.track == it->second.track) lane.busy = false;
+    }
+    open.erase(it);
+  };
+
+  for (const TraceRecord& r : records) {
+    switch (r.code) {
+      case TraceCode::kJobDispatched:
+      case TraceCode::kJobRedispatched:
+        // A dispatch while a span is open (shouldn't happen — terminal codes
+        // precede redispatch) closes the stale one defensively.
+        close(r.job, r.t_ns, " (preempted)");
+        open[r.job] = {r.t_ns, r.actor, acquire_lane(r.actor)};
+        if (r.code == TraceCode::kJobRedispatched) {
+          instant(r, "redispatch job " + std::to_string(r.job));
+        }
+        break;
+      case TraceCode::kJobComplete:
+        close(r.job, r.t_ns, "");
+        break;
+      case TraceCode::kJobAborted:
+        close(r.job, r.t_ns, " (aborted)");
+        break;
+      case TraceCode::kJobFailed:
+        close(r.job, r.t_ns, " (failed)");
+        break;
+      case TraceCode::kJobShed:
+        close(r.job, r.t_ns, " (shed)");
+        instant(r, "shed job " + std::to_string(r.job));
+        break;
+      case TraceCode::kIngestDone:
+        instant(r, "ingest-done");
+        break;
+      case TraceCode::kSuperstep:
+        instant(r, "superstep");
+        break;
+      case TraceCode::kJobRejected:
+        instant(r, "reject job " + std::to_string(r.job));
+        break;
+      case TraceCode::kFaultInjected:
+        instant(r, fault_instant_name("fault", r.detail));
+        break;
+      case TraceCode::kFaultCleared:
+        instant(r, fault_instant_name("clear", r.detail));
+        break;
+      case TraceCode::kBackendSuspect:
+        instant(r, "suspect");
+        break;
+      case TraceCode::kBackendDead:
+        instant(r, "dead (queue drains)");
+        break;
+      case TraceCode::kBackendRejoined:
+        instant(r, "rejoin");
+        break;
+    }
+  }
+  // Trace ended with jobs mid-flight (deadline'd sweeps, truncated runs):
+  // close their spans at the horizon so the timeline still renders them.
+  while (!open.empty()) {
+    close(open.begin()->first, last_ns, " (open)");
+  }
+  return process;
+}
+
+bool export_des_trace(const std::string& path, const std::vector<TraceRecord>& records) {
+  return obs::write_chrome_trace(path, {des_trace_process(records)});
+}
+
+}  // namespace graphm::cluster

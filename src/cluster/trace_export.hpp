@@ -1,0 +1,45 @@
+// Converts the cluster subsystem's deterministic event traces
+// (cluster::TraceRecord, stamped on the simulated clock) into obs trace
+// events for the Chrome/Perfetto exporter — the piggyback path of the
+// observability layer: the DES keeps emitting exactly the records the golden
+// FNV hashes pin, and tracing is a pure post-run transformation of them.
+//
+// Mapping (one Perfetto track per backend, plus "backend N (slot S)"
+// overflow lanes when a backend runs several jobs concurrently — 'X' spans
+// on one track must nest, so simultaneous dispatches fan out over lanes):
+//   kJobDispatched / kJobRedispatched  open a "job J" span on the backend's
+//                                      track; kJobComplete / kJobAborted /
+//                                      kJobFailed close it (the end state
+//                                      suffixes the name). A failover
+//                                      therefore renders as the span dying
+//                                      on the crashed backend's track and
+//                                      reappearing on the survivor's — the
+//                                      crash -> drain -> redispatch
+//                                      migration, visible as geometry.
+//   kSuperstep / kIngestDone           instants on the backend's track.
+//   fault + health codes (7..11)       instants ("fault crash", "suspect",
+//                                      "dead", ...) on the backend's track.
+//   kJobRejected / kJobShed            instants carrying the job id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/event_loop.hpp"
+#include "obs/trace_export.hpp"
+
+namespace graphm::cluster {
+
+/// Spans + instants derived from `records`, with one track per backend id
+/// seen (track index == backend id for indices <= the max backend id, so
+/// replicas line up predictably; overflow concurrency lanes are appended
+/// after). Jobs still open at the trace's end are closed at the last
+/// timestamp with an "(open)" suffix rather than dropped.
+obs::TraceProcess des_trace_process(const std::vector<TraceRecord>& records,
+                                    std::uint32_t pid = 2);
+
+/// One-call exporter for benches/examples: converts and writes `path`.
+bool export_des_trace(const std::string& path, const std::vector<TraceRecord>& records);
+
+}  // namespace graphm::cluster

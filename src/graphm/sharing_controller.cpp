@@ -1,10 +1,13 @@
 #include "graphm/sharing_controller.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace graphm::core {
@@ -12,26 +15,42 @@ namespace graphm::core {
 // GRAPHM_TRACE_SHARING=1 streams every protocol transition (register /
 // advance / load / attach / suspend / barrier / detach) to stderr — the tool
 // that pinpoints lockstep bugs like a former round member re-attaching
-// mid-round. One cached env lookup; disabled it costs a branch.
+// mid-round. One cached env lookup; disabled it costs a branch. The same
+// transitions also feed the obs tracer as instants (see trace_event).
 namespace {
 bool sharing_trace_enabled() {
   static const bool enabled = std::getenv("GRAPHM_TRACE_SHARING") != nullptr;
   return enabled;
 }
-}  // namespace
 
-#define SC_TRACE(...)                                              \
-  do {                                                             \
-    if (sharing_trace_enabled()) {                                 \
-      std::fprintf(stderr, __VA_ARGS__);                           \
-      std::fflush(stderr);                                         \
-    }                                                              \
-  } while (0)
+std::atomic<std::uint32_t> next_group_id{0};
+}  // namespace
 
 SharingController::SharingController(const storage::PartitionedStore& store, sim::Platform& platform,
                                      const std::vector<ChunkTable>* chunk_tables,
                                      GraphMOptions options)
-    : store_(store), platform_(platform), chunk_tables_(chunk_tables), options_(options) {}
+    : store_(store), platform_(platform), chunk_tables_(chunk_tables), options_(options),
+      group_id_(next_group_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void SharingController::trace_event(const char* name, JobId job, std::uint64_t detail,
+                                    const char* fmt, ...) {
+  if (sharing_trace_enabled()) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fflush(stderr);
+  }
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Interned once per controller; every caller holds mutex_, which also
+    // guards trace_track_.
+    if (trace_track_ == obs::Tracer::kNoTrack) {
+      trace_track_ = tracer.track("sharing #" + std::to_string(group_id_));
+    }
+    tracer.instant(trace_track_, name, tracer.now_ns(), job, detail);
+  }
+}
 
 void SharingController::register_job(JobId job) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -72,7 +91,7 @@ void SharingController::detach_from_round_locked(JobId job) {
 
 void SharingController::job_finished(JobId job) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SC_TRACE("[sc] job_finished job=%u\n", job);
+  trace_event("job_finished", job, 0, "[sc] job_finished job=%u\n", job);
   detach_from_round_locked(job);
   // Drop the job's private mutation copies ("the copied chunks will be
   // released when the corresponding job is finished").
@@ -94,7 +113,8 @@ void SharingController::job_finished(JobId job) {
 
 void SharingController::register_iteration(JobId job, const std::vector<PartitionId>& partitions) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SC_TRACE("[sc] reg_iter job=%u n=%zu\n", job, partitions.size());
+  trace_event("reg_iter", job, partitions.size(), "[sc] reg_iter job=%u n=%zu\n", job,
+              partitions.size());
   JobState& state = jobs_[job];
   state.needs = std::set<PartitionId>(partitions.begin(), partitions.end());
   round_cv_.notify_all();
@@ -125,7 +145,8 @@ void SharingController::advance_locked() {
   }
   const std::vector<PartitionId> order = loading_order(table, options_.use_scheduling);
   const PartitionId pid = order.front();
-  SC_TRACE("[sc] advance pid=%u participants=%zu\n", pid, table.at(pid).size());
+  trace_event("advance", 0, pid, "[sc] advance pid=%u participants=%zu\n", pid,
+              table.at(pid).size());
 
   current_pid_ = pid;
   current_unacquired_.clear();
@@ -181,7 +202,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       current_unreleased_.insert(job);
       ++stats_.attaches;
       ++stats_.mid_round_attaches;
-      SC_TRACE("[sc] mid_attach job=%u pid=%u\n", job, pid);
+      trace_event("mid_attach", job, pid, "[sc] mid_attach job=%u pid=%u\n", job, pid);
       return build_view_locked(job, pid);
     }
     // The job does not participate in the current partition (or has already
@@ -191,7 +212,9 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       suspended = true;
       ++stats_.suspensions;
     }
-    SC_TRACE("[sc] suspend job=%u cur=%lld needs=%zu\n", job, (long long)current_pid_, state.needs.size());
+    trace_event("suspend", job, state.needs.size(),
+                "[sc] suspend job=%u cur=%lld needs=%zu\n", job, (long long)current_pid_,
+                state.needs.size());
     round_cv_.wait(lock);
   }
 
@@ -211,7 +234,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       buffer_loaded_ = true;
       buffer_loading_ = false;
       ++stats_.partition_loads;
-      SC_TRACE("[sc] load job=%u pid=%u\n", job, pid);
+      trace_event("load", job, pid, "[sc] load job=%u pid=%u\n", job, pid);
       round_cv_.notify_all();
     } else {
       round_cv_.wait(lock, [this] { return buffer_loaded_; });
@@ -220,14 +243,15 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
   } else {
     ++stats_.attaches;
   }
-  SC_TRACE("[sc] acquire job=%u pid=%u\n", job, pid);
+  trace_event("acquire", job, pid, "[sc] acquire job=%u pid=%u\n", job, pid);
 
   return build_view_locked(job, pid);
 }
 
 void SharingController::release(JobId job, PartitionId pid) {
   std::lock_guard<std::mutex> lock(mutex_);
-  SC_TRACE("[sc] release job=%u pid=%u unrel_left=%zu\n", job, pid, current_unreleased_.size() - (current_unreleased_.count(job) ? 1 : 0));
+  trace_event("release", job, pid, "[sc] release job=%u pid=%u unrel_left=%zu\n", job, pid,
+              current_unreleased_.size() - (current_unreleased_.count(job) ? 1 : 0));
   current_unreleased_.erase(job);
   auto it = jobs_.find(job);
   if (it != jobs_.end()) it->second.needs.erase(pid);
@@ -252,7 +276,8 @@ void SharingController::begin_chunk(JobId job, PartitionId pid, std::uint32_t ch
   // Late mid-round attachers are not barrier members: they free-run over the
   // resident buffer instead of pacing (or corrupting) the lock-step group.
   if (barrier_members_.count(job) == 0) return;
-  SC_TRACE("[sc] begin_chunk_wait job=%u pid=%u c=%u bc=%u\n", job, pid, chunk_id, barrier_chunk_);
+  trace_event("begin_chunk_wait", job, chunk_id, "[sc] begin_chunk_wait job=%u pid=%u c=%u bc=%u\n",
+              job, pid, chunk_id, barrier_chunk_);
   barrier_cv_.wait(lock, [this, pid, chunk_id] {
     return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ >= chunk_id;
   });
@@ -270,7 +295,8 @@ void SharingController::end_chunk(JobId job, PartitionId pid, std::uint32_t chun
     ++stats_.chunk_barriers;
     return;
   }
-  SC_TRACE("[sc] end_chunk job=%u pid=%u c=%u arrived=%zu/%zu\n", job, pid, chunk_id, barrier_arrived_ + 1, barrier_participants_);
+  trace_event("end_chunk", job, chunk_id, "[sc] end_chunk job=%u pid=%u c=%u arrived=%zu/%zu\n",
+              job, pid, chunk_id, barrier_arrived_ + 1, barrier_participants_);
   if (++barrier_arrived_ == barrier_participants_) {
     barrier_arrived_ = 0;
     barrier_chunk_ = chunk_id + 1;
@@ -430,6 +456,20 @@ SharingController::Stats SharingController::stats() const {
 std::size_t SharingController::live_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return jobs_.size();  // finished jobs are erased on job_finished
+}
+
+void SharingController::publish_metrics(obs::Registry& registry) const {
+  const Stats s = stats();
+  registry.set_counter("graphm.sharing.partition_loads", s.partition_loads);
+  registry.set_counter("graphm.sharing.attaches", s.attaches);
+  registry.set_counter("graphm.sharing.mid_round_attaches", s.mid_round_attaches);
+  registry.set_counter("graphm.sharing.suspensions", s.suspensions);
+  registry.set_counter("graphm.sharing.chunk_barriers", s.chunk_barriers);
+  registry.set_counter("graphm.sharing.snapshot_copies", s.snapshot_copies);
+  registry.set_counter("graphm.sharing.mid_round_detaches", s.mid_round_detaches);
+  registry.set_gauge("graphm.sharing.live_jobs", static_cast<std::int64_t>(live_jobs()));
+  registry.set_gauge("graphm.sharing.snapshot_chunks_live",
+                     static_cast<std::int64_t>(snapshot_chunks_live()));
 }
 
 std::size_t SharingController::snapshot_chunks_live() const {

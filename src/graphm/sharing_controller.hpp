@@ -32,6 +32,7 @@
 #include "graphm/scheduler.hpp"
 #include "grid/grid_store.hpp"
 #include "grid/partition_view.hpp"
+#include "obs/metrics.hpp"
 #include "sim/platform.hpp"
 
 namespace graphm::core {
@@ -104,6 +105,9 @@ class SharingController {
   [[nodiscard]] std::size_t live_jobs() const;
   /// Currently retained snapshot chunk copies (after GC).
   [[nodiscard]] std::size_t snapshot_chunks_live() const;
+  /// Re-homes Stats into `registry` under `graphm.sharing.*` (publish-style:
+  /// overwrites with current totals, callable at any snapshot point).
+  void publish_metrics(obs::Registry& registry) const;
 
  private:
   /// One entry per *live* job (job_finished erases — the service routes an
@@ -145,6 +149,16 @@ class SharingController {
   std::uint64_t version_counter_ = 0;
 
   void detach_from_round_locked(JobId job);
+
+  /// The sharing trace seam: every protocol transition goes through here.
+  /// Sinks: stderr printf when GRAPHM_TRACE_SHARING is set (the original
+  /// lockstep-debugging stream, preserved verbatim) and an obs instant on
+  /// this controller's "sharing #N" track when the global tracer is on.
+  void trace_event(const char* name, JobId job, std::uint64_t detail,
+                   const char* fmt, ...);
+
+  const std::uint32_t group_id_;  // distinguishes controllers' trace tracks
+  std::uint32_t trace_track_ = 0xFFFFFFFFu;  // lazily interned (under mutex_)
 
   // Serving state (Algorithm 2).
   std::int64_t current_pid_ = -1;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace graphm::grid {
@@ -213,17 +215,25 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
   algorithm.init(store_.meta().num_vertices, out_degrees_, &platform_.memory());
   const bool fan_out = pool_ != nullptr && config_.use_blocks && algorithm.parallel_safe();
 
+  // Spans land on the calling thread's track: the service worker's job span
+  // records on the same track, so iterations nest inside it in the viewer.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  const std::uint32_t track = tracing ? tracer.thread_track() : obs::Tracer::kNoTrack;
+
   std::uint64_t iteration = 0;
   while (!algorithm.done() && iteration < config_.max_iterations_guard) {
     if (control != nullptr && control->cancel_requested()) {
       stats.cancelled = true;
       break;
     }
+    const std::uint64_t iter_start_ns = tracing ? tracer.now_ns() : 0;
     algorithm.iteration_start(iteration);
     const util::AtomicBitmap& active = algorithm.active_vertices();
     loader.register_iteration(job_id, active_partitions(active));
 
     while (auto view = loader.acquire_next(job_id)) {
+      const std::uint64_t part_start_ns = tracing ? tracer.now_ns() : 0;
       ++stats.partitions_loaded;
       // Partition-grouping seam of the striped-accumulation contract: every
       // engine path (legacy scalar, blocks, pooled) announces the partition
@@ -314,6 +324,12 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
                          elapsed);
       }
       loader.release(job_id, view->pid);
+      if (tracing) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "partition %u", view->pid);
+        tracer.complete(track, name, part_start_ns, tracer.now_ns() - part_start_ns,
+                        job_id, view->pid);
+      }
       if (control != nullptr && control->cancel_requested()) {
         stats.cancelled = true;
         break;
@@ -321,6 +337,13 @@ JobRunStats StreamEngine::run_job(std::uint32_t job_id, algos::StreamingAlgorith
     }
     if (stats.cancelled) break;  // mid-iteration: skip iteration_end
     algorithm.iteration_end();
+    if (tracing) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "iteration %llu",
+                    static_cast<unsigned long long>(iteration));
+      tracer.complete(track, name, iter_start_ns, tracer.now_ns() - iter_start_ns,
+                      job_id, iteration);
+    }
     ++iteration;
   }
 

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace graphm::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int exponent = 63 - std::countl_zero(v);  // floor(log2 v), >= kSubBucketBits
+  const std::uint64_t sub = (v >> (exponent - kSubBucketBits)) - kSubBuckets;
+  return (static_cast<std::size_t>(exponent - kSubBucketBits + 1) << kSubBucketBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  const std::size_t octave = index >> kSubBucketBits;
+  if (octave == 0) return index;
+  const std::uint64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (octave - 1);
+}
+
+std::uint64_t Histogram::bucket_width(std::size_t index) {
+  const std::size_t octave = index >> kSubBucketBits;
+  return octave == 0 ? 1 : 1ULL << (octave - 1);
+}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen && !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ULL ? 0 : m;
+}
+
+std::uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The same nearest-rank convention as service::summarize_latency: the rank
+  // indexes the sorted sample vector; here it indexes the cumulative bucket
+  // walk instead.
+  const auto rank = std::min<std::uint64_t>(
+      n - 1, static_cast<std::uint64_t>(q * static_cast<double>(n - 1) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      // Midpoint of the containing bucket: off from the exact order statistic
+      // by at most half the bucket width.
+      return static_cast<double>(bucket_lower(b)) +
+             static_cast<double>(bucket_width(b) - 1) / 2.0;
+    }
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() != 0) {
+    const std::uint64_t omin = other.min();
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (omin < seen &&
+           !min_.compare_exchange_weak(seen, omin, std::memory_order_relaxed)) {
+    }
+    const std::uint64_t omax = other.max();
+    seen = max_.load(std::memory_order_relaxed);
+    while (omax > seen &&
+           !max_.compare_exchange_weak(seen, omax, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::set_counter(std::string_view name, std::uint64_t v) { counter(name).set(v); }
+
+namespace {
+
+void append_key(std::string& out, const std::string& name) {
+  out += '"';
+  for (const char c : name) {
+    // Instrument names are dotted identifiers; escape just enough that a
+    // stray quote or backslash can never break the document.
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\": ";
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    out += std::to_string(c->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    out += std::to_string(g->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    append_key(out, name);
+    out += "{\"count\": " + std::to_string(h->count()) + ", \"mean\": ";
+    append_double(out, h->mean());
+    out += ", \"p50\": ";
+    append_double(out, h->quantile(0.50));
+    out += ", \"p95\": ";
+    append_double(out, h->quantile(0.95));
+    out += ", \"p99\": ";
+    append_double(out, h->quantile(0.99));
+    out += ", \"max\": " + std::to_string(h->max()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace graphm::obs

@@ -1,0 +1,152 @@
+// The metrics half of the observability substrate (src/obs/): named
+// counters, gauges and log-bucketed histograms behind one registry with a
+// single JSON snapshot call.
+//
+// Every serving surface reports through instruments instead of inventing its
+// own stat structs: the JobService re-homes its submit/reject/finish counters
+// and the sharing economy here, the cluster service publishes its
+// fault/failover outcomes, and the simulated platform's page-cache/LLC
+// totals land as gauges. Instrument names follow `layer.component.metric`
+// (docs/observability.md) so a dashboard or test can address any counter in
+// the system by one stable string.
+//
+// Design constraints (the overhead contract):
+//  * recording is lock-free — counters/gauges are single atomics, a
+//    histogram record is one relaxed fetch_add into a fixed bucket array
+//    plus sum/min/max maintenance; nothing allocates after the instrument
+//    exists;
+//  * histograms are bounded: ~15 KB each regardless of how many samples they
+//    absorb, which is what lets per-job stats hold at millions of jobs where
+//    the old store-every-outcome vectors grew without limit;
+//  * bucket resolution is logarithmic (32 sub-buckets per power of two,
+//    ~3.1% relative width), so p50/p95/p99 are within one bucket width of
+//    the exact nearest-rank value — the accuracy contract
+//    tests/test_obs.cpp pins on adversarial distributions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace graphm::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  /// Publish-style overwrite for components that keep their own totals and
+  /// re-home them at snapshot time (FaultStats, sim counters).
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous level (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-bucketed histogram over non-negative 64-bit samples.
+///
+/// Bucket layout: values below 2^kSubBucketBits get one exact bucket each;
+/// above that, every power-of-two octave is split into 2^kSubBucketBits
+/// sub-buckets, so the relative bucket width is 2^-kSubBucketBits (~3.1%).
+/// The layout is a pure function of the value, which makes merging two
+/// histograms a bucket-wise add — associative and commutative by
+/// construction (the merge test pins it).
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// Highest index + 1: values with exponent 63 land in octave group
+  /// 64 - kSubBucketBits, so the array spans 64 - kSubBucketBits + 1 groups
+  /// of kSubBuckets buckets each.
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>((64 - kSubBucketBits + 1) << kSubBucketBits);
+
+  /// Bucket index holding `v` (total over [0, 2^64)).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of bucket `index`.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t index);
+  /// Width of bucket `index` (upper bound = lower + width, exclusive).
+  [[nodiscard]] static std::uint64_t bucket_width(std::size_t index);
+
+  void record(std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t min() const;  // 0 when empty
+  [[nodiscard]] std::uint64_t max() const;  // 0 when empty
+  [[nodiscard]] double mean() const;
+
+  /// Nearest-rank quantile estimate (same rank convention as
+  /// service::summarize_latency): the midpoint of the bucket containing the
+  /// rank, hence within one bucket width of the exact order statistic.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket-wise accumulate of `other` into this histogram.
+  void merge(const Histogram& other);
+
+  /// Raw bucket count (tests and exporters).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named instruments, created on first use and stable for the registry's
+/// lifetime (references handed out never dangle or move). Snapshot is one
+/// JSON object over every instrument, sorted by name.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Convenience for refresh-on-snapshot publishing.
+  void set_gauge(std::string_view name, std::int64_t v) { gauge(name).set(v); }
+  void set_counter(std::string_view name, std::uint64_t v);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,p50,
+  /// p95,p99,max},...}} — machine-readable, stable key order.
+  [[nodiscard]] std::string json() const;
+
+  /// The process-wide registry (components that have no natural owner).
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace graphm::obs

@@ -1,0 +1,182 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace graphm::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<std::uint64_t> next_tracer_id{1};
+
+/// Per-thread ring cache, keyed by tracer id so a recycled Tracer address
+/// can never alias a stale cache entry.
+struct ThreadRingCache {
+  std::uint64_t tracer_id = 0;
+  void* ring = nullptr;
+  std::uint32_t thread_track = 0xFFFFFFFFu;  // lazily interned
+};
+thread_local ThreadRingCache t_ring_cache;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : tracer_id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_capacity_(std::max<std::size_t>(16, ring_capacity)),
+      epoch_ns_(steady_now_ns()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+std::uint32_t Tracer::track(std::string_view name) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  tracks_.emplace_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+Tracer::Ring& Tracer::this_thread_ring() {
+  if (t_ring_cache.tracer_id == tracer_id_) {
+    return *static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  Ring& ring = rings_.emplace_back(ring_capacity_);
+  t_ring_cache = {tracer_id_, &ring, 0xFFFFFFFFu};
+  return ring;
+}
+
+std::uint32_t Tracer::thread_track() {
+  // The first event on a thread creates its ring, so the ring index is a
+  // stable small integer per thread — the default track name derives from
+  // it. The interned id is cached thread-locally alongside the ring.
+  this_thread_ring();
+  if (t_ring_cache.thread_track != 0xFFFFFFFFu) return t_ring_cache.thread_track;
+  std::uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::size_t index = 0;
+    for (const Ring& r : rings_) {
+      if (&r == t_ring_cache.ring) break;
+      ++index;
+    }
+    tracks_.push_back("thread " + std::to_string(index));
+    id = static_cast<std::uint32_t>(tracks_.size() - 1);
+  }
+  t_ring_cache.thread_track = id;
+  return id;
+}
+
+void Tracer::name_thread_track(std::string_view name) {
+  const std::uint32_t id = thread_track();
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  tracks_[id].assign(name);
+}
+
+std::vector<std::string> Tracer::track_names() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return tracks_;
+}
+
+void Tracer::record(char phase, std::uint32_t track, std::string_view name,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns, std::uint32_t job,
+                    std::uint64_t detail) {
+  if (!enabled()) return;
+  Ring& ring = this_thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  TraceEvent& event = ring.events[ring.next];
+  if (ring.size == ring.events.size()) {
+    ++ring.dropped;  // overwriting the oldest retained event
+  } else {
+    ++ring.size;
+  }
+  ring.next = (ring.next + 1) % ring.events.size();
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.track = track;
+  event.job = job;
+  event.detail = detail;
+  event.phase = phase;
+  const std::size_t n = std::min(name.size(), TraceEvent::kNameCapacity);
+  std::memcpy(event.name, name.data(), n);
+  event.name[n] = '\0';
+}
+
+void Tracer::complete(std::uint32_t track, std::string_view name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns, std::uint32_t job, std::uint64_t detail) {
+  record('X', track, name, start_ns, dur_ns, job, detail);
+}
+
+void Tracer::instant(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+                     std::uint32_t job, std::uint64_t detail) {
+  record('i', track, name, ts_ns, 0, job, detail);
+}
+
+void Tracer::async_begin(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+                         std::uint32_t job, std::uint64_t detail) {
+  record('b', track, name, ts_ns, 0, job, detail);
+}
+
+void Tracer::async_end(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+                       std::uint32_t job, std::uint64_t detail) {
+  record('e', track, name, ts_ns, 0, job, detail);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    // Oldest retained event first: the ring wrapped iff size == capacity,
+    // in which case `next` points at the oldest entry.
+    const std::size_t capacity = ring.events.size();
+    const std::size_t start = ring.size == capacity ? ring.next : 0;
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      events.push_back(ring.events[(start + i) % capacity]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;  // parents before children
+                   });
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    total += ring.dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (Ring& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    ring.next = 0;
+    ring.size = 0;
+    ring.dropped = 0;
+  }
+}
+
+const char* trace_env_path() { return std::getenv("GRAPHM_TRACE"); }
+
+}  // namespace graphm::obs

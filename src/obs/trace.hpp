@@ -1,0 +1,158 @@
+// The tracing half of the observability substrate (src/obs/): per-job spans
+// and instant events recorded into bounded per-thread ring buffers — a flight
+// recorder, not an unbounded log — and exported as Chrome trace-event JSON
+// (obs/trace_export.hpp) viewable in Perfetto or chrome://tracing.
+//
+// Two clock domains feed the same event shape:
+//  * live surfaces (JobService, StreamEngine, SharingController) stamp spans
+//    on the tracer's monotonic clock (now_ns(), steady since construction);
+//  * the simulated cluster stamps on the DES clock — its EventLoop trace
+//    records are converted after the run (cluster/trace_export.hpp), so the
+//    golden FNV trace pins never see a tracing-dependent code path.
+//
+// Overhead contract (docs/observability.md): when disabled, a call site pays
+// one relaxed atomic load and a branch — nothing else, no allocation, no
+// lock. When enabled, recording is one short critical section on the calling
+// thread's own ring (never contended across threads) and a fixed-size copy;
+// rings overwrite their oldest entry when full and count the drops, so
+// memory is bounded no matter how long the service runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphm::obs {
+
+/// One recorded event. Fixed-size (the ring never allocates per event): the
+/// name is truncated into an inline buffer, the track is an interned id.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;     // complete spans only
+  std::uint32_t track = 0;      // interned via Tracer::track()
+  std::uint32_t job = 0;        // primary argument (job id, 0 if none)
+  std::uint64_t detail = 0;     // secondary argument (code-specific)
+  char phase = 'X';             // 'X' complete, 'i' instant, 'b'/'e' async
+  char name[39] = {};           // NUL-terminated, truncated copy
+
+  static constexpr std::size_t kNameCapacity = sizeof(name) - 1;
+};
+
+class Tracer {
+ public:
+  static constexpr std::uint32_t kNoTrack = 0xFFFFFFFFu;
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 14;
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// The process-wide tracer every live surface records through.
+  static Tracer& global();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Monotonic ns since construction — the clock every live span stamps.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Interns `name` into a stable track id (one Perfetto track per id).
+  /// Repeated calls with the same name return the same id.
+  std::uint32_t track(std::string_view name);
+  /// The calling thread's own track ("thread N" on first use) — spans
+  /// recorded on it by nested layers (service worker -> engine iterations)
+  /// nest correctly because they genuinely ran on one thread.
+  std::uint32_t thread_track();
+  /// Renames the calling thread's track (e.g. "svc-worker 3").
+  void name_thread_track(std::string_view name);
+  [[nodiscard]] std::vector<std::string> track_names() const;
+
+  /// Recording. All no-ops when disabled; `name` is truncated to
+  /// TraceEvent::kNameCapacity.
+  void complete(std::uint32_t track, std::string_view name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint32_t job = 0, std::uint64_t detail = 0);
+  void instant(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+               std::uint32_t job = 0, std::uint64_t detail = 0);
+  /// Async begin/end pair (Chrome 'b'/'e'): spans that overlap without
+  /// nesting, e.g. admission waits of many queued jobs. Matched by `job` id.
+  void async_begin(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+                   std::uint32_t job, std::uint64_t detail = 0);
+  void async_end(std::uint32_t track, std::string_view name, std::uint64_t ts_ns,
+                 std::uint32_t job, std::uint64_t detail = 0);
+
+  /// Every retained event across all thread rings, oldest first per ring,
+  /// globally sorted by (ts, dur desc) so parents precede their children.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Events overwritten because a ring was full (flight-recorder drops).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Forgets every recorded event (track interning is kept).
+  void clear();
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : events(capacity) {}
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::size_t next = 0;
+    std::size_t size = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  Ring& this_thread_ring();
+  void record(char phase, std::uint32_t track, std::string_view name,
+              std::uint64_t ts_ns, std::uint64_t dur_ns, std::uint32_t job,
+              std::uint64_t detail);
+
+  const std::uint64_t tracer_id_;
+  const std::size_t ring_capacity_;
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_;  // steady-clock origin
+
+  mutable std::mutex registry_mutex_;  // rings_ + tracks_
+  std::deque<Ring> rings_;             // deque: stable addresses for TLS caching
+  std::vector<std::string> tracks_;
+};
+
+/// RAII complete-span: captures the start on construction, records on
+/// destruction. Inert (and cost-free beyond one atomic load) when the tracer
+/// is disabled at construction.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer& tracer, std::uint32_t track, std::string_view name,
+       std::uint32_t job = 0, std::uint64_t detail = 0)
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        track_(track),
+        name_(name),
+        job_(job),
+        detail_(detail),
+        start_ns_(tracer_ != nullptr ? tracer.now_ns() : 0) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->complete(track_, name_, start_ns_, tracer_->now_ns() - start_ns_, job_,
+                        detail_);
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  std::string_view name_;
+  std::uint32_t job_ = 0;
+  std::uint64_t detail_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// GRAPHM_TRACE=<path> turns the global tracer on and names the Chrome JSON
+/// output file the enabling surface (bench, example) writes at exit.
+/// Returns nullptr when unset. The check is one getenv per call — callers
+/// cache it.
+const char* trace_env_path();
+
+}  // namespace graphm::obs

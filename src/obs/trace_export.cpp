@@ -1,0 +1,97 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+
+namespace graphm::obs {
+
+namespace {
+
+void write_escaped(std::FILE* f, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+void write_meta(std::FILE* f, const char* kind, std::uint32_t pid, std::int64_t tid,
+                const std::string& name, bool* first) {
+  std::fprintf(f, "%s\n  {\"name\": \"%s\", \"ph\": \"M\", \"pid\": %u", *first ? "" : ",",
+               kind, pid);
+  *first = false;
+  if (tid >= 0) std::fprintf(f, ", \"tid\": %lld", static_cast<long long>(tid));
+  std::fprintf(f, ", \"args\": {\"name\": \"");
+  write_escaped(f, name.c_str());
+  std::fprintf(f, "\"}}");
+}
+
+void write_event(std::FILE* f, std::uint32_t pid, const TraceEvent& e, bool* first) {
+  std::fprintf(f, "%s\n  {\"name\": \"", *first ? "" : ",");
+  *first = false;
+  write_escaped(f, e.name);
+  std::fprintf(f, "\", \"ph\": \"%c\", \"pid\": %u, \"tid\": %u, \"ts\": %.3f", e.phase,
+               pid, e.track, static_cast<double>(e.ts_ns) / 1000.0);
+  if (e.phase == 'X') {
+    std::fprintf(f, ", \"dur\": %.3f", static_cast<double>(e.dur_ns) / 1000.0);
+  }
+  if (e.phase == 'b' || e.phase == 'e') {
+    // Async pairs match on (cat, id); the job id is the natural key.
+    std::fprintf(f, ", \"cat\": \"job\", \"id\": %u", e.job);
+  }
+  if (e.phase == 'i') std::fprintf(f, ", \"s\": \"t\"");
+  std::fprintf(f, ", \"args\": {\"job\": %u, \"detail\": %llu}}", e.job,
+               static_cast<unsigned long long>(e.detail));
+}
+
+}  // namespace
+
+bool write_chrome_trace(std::FILE* f, const std::vector<TraceProcess>& processes) {
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  bool first = true;
+  for (const TraceProcess& process : processes) {
+    write_meta(f, "process_name", process.pid, -1, process.name, &first);
+    for (std::size_t t = 0; t < process.tracks.size(); ++t) {
+      write_meta(f, "thread_name", process.pid, static_cast<std::int64_t>(t),
+                 process.tracks[t], &first);
+    }
+    std::vector<TraceEvent> events = process.events;
+    // (ts asc, dur desc): a parent span sorts before the children it
+    // encloses, the order the viewers' nesting validators expect.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                       return a.dur_ns > b.dur_ns;
+                     });
+    for (const TraceEvent& event : events) {
+      write_event(f, process.pid, event, &first);
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  return std::ferror(f) == 0;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceProcess>& processes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = write_chrome_trace(f, processes);
+  return std::fclose(f) == 0 && ok;
+}
+
+bool export_tracer(const std::string& path, const Tracer& tracer,
+                   const std::string& process_name) {
+  TraceProcess process;
+  process.pid = 1;
+  process.name = process_name;
+  process.tracks = tracer.track_names();
+  process.events = tracer.snapshot();
+  return write_chrome_trace(path, {std::move(process)});
+}
+
+}  // namespace graphm::obs

@@ -1,0 +1,41 @@
+// Chrome trace-event JSON writer: turns recorded TraceEvents into a file
+// Perfetto (ui.perfetto.dev) and chrome://tracing open directly.
+//
+// The trace-event format (JSON Array / JSON Object flavor) models a set of
+// processes, each with named threads ("tracks") carrying complete spans
+// ('X'), instants ('i') and async begin/end pairs ('b'/'e'). We map:
+//   process  -> one clock domain (live service = pid 1, simulated cluster =
+//               pid 2; their clocks never mix on one track);
+//   thread   -> one obs track (worker thread, sharing group, DES backend);
+//   ts / dur -> microseconds (fractional, so ns precision survives).
+// Metadata events name every process and track so the viewer shows
+// "svc-worker 3" instead of "tid 7".
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace graphm::obs {
+
+/// One process (= clock domain) of the exported trace.
+struct TraceProcess {
+  std::uint32_t pid = 1;
+  std::string name;                  // e.g. "graphm service (live clock)"
+  std::vector<std::string> tracks;   // index == TraceEvent::track
+  std::vector<TraceEvent> events;    // any order; sorted on write
+};
+
+/// Writes `{"displayTimeUnit":"ms","traceEvents":[...]}` with every
+/// process's metadata + events. Returns false on I/O failure.
+bool write_chrome_trace(std::FILE* f, const std::vector<TraceProcess>& processes);
+bool write_chrome_trace(const std::string& path, const std::vector<TraceProcess>& processes);
+
+/// Convenience: exports a live tracer's snapshot as one process.
+bool export_tracer(const std::string& path, const Tracer& tracer,
+                   const std::string& process_name = "graphm live");
+
+}  // namespace graphm::obs

@@ -1,6 +1,9 @@
 #include "service/job_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"
 
 namespace graphm::service {
 
@@ -62,7 +65,7 @@ void JobService::start_workers() {
   const std::size_t count = std::max<std::size_t>(1, config_.workers);
   workers_.reserve(count);
   for (std::size_t w = 0; w < count; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -95,12 +98,31 @@ JobHandle JobService::submit(const algos::JobSpec& spec, std::uint64_t deadline_
     collector_.on_reject();
     record->state.store(JobState::kRejected, std::memory_order_release);
     record->cv.notify_all();
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(tracer.track("admission"), "reject", tracer.now_ns(), record->job_id);
+    }
     return JobHandle(record);
+  }
+  // Admission wait renders as an async span (queued jobs overlap without
+  // nesting): 'b' here, 'e' when a worker dispatches — matched by job id.
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.async_begin(tracer.track("admission"), "admission wait", tracer.now_ns(),
+                       record->job_id);
   }
   return JobHandle(record);
 }
 
-void JobService::worker_loop() {
+void JobService::worker_loop(std::size_t worker_index) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // Only when tracing is on: naming allocates this thread's ring, and the
+    // disabled path must stay allocation-free.
+    char name[32];
+    std::snprintf(name, sizeof(name), "svc-worker %zu", worker_index);
+    tracer.name_thread_track(name);
+  }
   const auto clock = [this] { return now_ns(); };
   for (;;) {
     JobRecordPtr job = queue_.pop(clock);
@@ -112,14 +134,33 @@ void JobService::worker_loop() {
 void JobService::execute(const JobRecordPtr& job) {
   Dataset& dataset = datasets_[job->dataset];
 
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  char span_name[32];
+  std::uint32_t worker_track = 0;
+  if (tracing) {
+    worker_track = tracer.thread_track();
+    tracer.async_end(tracer.track("admission"), "admission wait", tracer.now_ns(),
+                     job->job_id);
+    std::snprintf(span_name, sizeof(span_name), "job %u", job->job_id);
+  }
+
   if (config_.cancel_past_deadline && job->deadline_ns != 0 && now_ns() > job->deadline_ns) {
     // Shed at dispatch: the deadline passed while the job sat in the queue.
+    if (tracing) {
+      tracer.instant(worker_track, "shed at dispatch", tracer.now_ns(), job->job_id);
+    }
     job->missed_deadline = true;
     job->outcome.start_ns = now_ns();
     job->outcome.completion_ns = job->outcome.start_ns;
     finish(job, JobState::kCancelled, /*started=*/false);
     return;
   }
+
+  // Covers dispatch -> completion on this worker's track; the engine's
+  // iteration/partition spans record on the same thread track, so they nest
+  // inside this one in the viewer.
+  obs::Span job_span(tracer, worker_track, tracing ? span_name : "", job->job_id);
 
   job->state.store(JobState::kRunning, std::memory_order_release);
   const core::SharingController::Stats sharing_before =
@@ -205,6 +246,58 @@ ServiceStats JobService::stats() const {
 core::SharingController::Stats JobService::sharing_stats(std::size_t dataset) const {
   const Dataset& d = datasets_.at(dataset);
   return d.graphm ? d.graphm->controller().stats() : core::SharingController::Stats{};
+}
+
+void JobService::publish_metrics(obs::Registry& registry) const {
+  collector_.publish_metrics(registry);
+  registry.set_gauge("graphm.service.queue_depth",
+                     static_cast<std::int64_t>(queue_.depth()));
+  registry.set_gauge("graphm.service.workers",
+                     static_cast<std::int64_t>(std::max<std::size_t>(1, config_.workers)));
+
+  // Sharing economy, summed over every dataset's controller (kShared only).
+  core::SharingController::Stats sharing{};
+  bool any_shared = false;
+  for (const Dataset& dataset : datasets_) {
+    if (!dataset.graphm) continue;
+    any_shared = true;
+    const core::SharingController::Stats s = dataset.graphm->controller().stats();
+    sharing.partition_loads += s.partition_loads;
+    sharing.attaches += s.attaches;
+    sharing.mid_round_attaches += s.mid_round_attaches;
+    sharing.suspensions += s.suspensions;
+    sharing.chunk_barriers += s.chunk_barriers;
+    sharing.snapshot_copies += s.snapshot_copies;
+    sharing.mid_round_detaches += s.mid_round_detaches;
+  }
+  if (any_shared) {
+    registry.set_counter("graphm.sharing.partition_loads", sharing.partition_loads);
+    registry.set_counter("graphm.sharing.attaches", sharing.attaches);
+    registry.set_counter("graphm.sharing.mid_round_attaches", sharing.mid_round_attaches);
+    registry.set_counter("graphm.sharing.suspensions", sharing.suspensions);
+    registry.set_counter("graphm.sharing.chunk_barriers", sharing.chunk_barriers);
+    registry.set_counter("graphm.sharing.snapshot_copies", sharing.snapshot_copies);
+    registry.set_counter("graphm.sharing.mid_round_detaches", sharing.mid_round_detaches);
+  }
+
+  // Simulated platform totals (the paper's hardware-counter view).
+  const sim::CacheStats llc = platform_.llc().total_stats();
+  registry.set_counter("graphm.sim.llc.accesses", llc.accesses);
+  registry.set_counter("graphm.sim.llc.misses", llc.misses);
+  registry.set_counter("graphm.sim.llc.bytes_swapped_in", llc.bytes_swapped_in);
+  const sim::IoStats io = platform_.page_cache().total_stats();
+  registry.set_counter("graphm.sim.page_cache.read_bytes", io.read_bytes);
+  registry.set_counter("graphm.sim.page_cache.disk_read_bytes", io.disk_read_bytes);
+  registry.set_counter("graphm.sim.page_cache.disk_requests", io.disk_requests);
+  registry.set_counter("graphm.sim.page_cache.virtual_io_ns", io.virtual_io_ns);
+  registry.set_gauge("graphm.sim.memory.peak_bytes",
+                     static_cast<std::int64_t>(platform_.memory().peak_total()));
+}
+
+std::string JobService::metrics_json() const {
+  obs::Registry registry;
+  publish_metrics(registry);
+  return registry.json();
 }
 
 }  // namespace graphm::service

@@ -32,6 +32,7 @@
 
 #include "graphm/graphm.hpp"
 #include "grid/stream_engine.hpp"
+#include "obs/metrics.hpp"
 #include "service/admission.hpp"
 #include "service/group_manager.hpp"
 #include "service/service_stats.hpp"
@@ -119,6 +120,14 @@ class JobService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] core::SharingController::Stats sharing_stats(std::size_t dataset = 0) const;
+  /// Publishes every service-level instrument into `registry` under
+  /// `graphm.*`: collector counters + latency histograms, queue depth and
+  /// shed counts, per-dataset sharing totals (summed), and the simulated
+  /// platform's LLC / page-cache counters. Histogram publishing merges —
+  /// use a fresh registry per snapshot (metrics_json does).
+  void publish_metrics(obs::Registry& registry) const;
+  /// One-call JSON snapshot of publish_metrics into a fresh registry.
+  [[nodiscard]] std::string metrics_json() const;
   /// Monotonic service clock (ns since construction) — the clock every
   /// JobRecord timestamp and deadline lives on.
   [[nodiscard]] std::uint64_t now_ns() const { return clock_.elapsed_ns(); }
@@ -134,7 +143,7 @@ class JobService {
   };
 
   void start_workers();
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
   void execute(const JobRecordPtr& job);
   void finish(const JobRecordPtr& job, JobState terminal, bool started);
 

@@ -53,10 +53,25 @@ void StatsCollector::on_reject() {
   ++rejected_;
 }
 
+void StatsCollector::push_timeline_locked(std::uint64_t t_ns, std::uint32_t running) {
+  peak_concurrency_ = std::max(peak_concurrency_, running);
+  if (timeline_seen_++ % timeline_stride_ != 0) return;
+  timeline_.push_back({t_ns, running});
+  if (timeline_.size() >= kTimelineCap) {
+    // Full: drop every other retained point and record half as often from
+    // here on. The timeline keeps spanning the whole run at bounded size,
+    // trading resolution — never coverage — as the run grows.
+    for (std::size_t i = 0; 2 * i < timeline_.size(); ++i) {
+      timeline_[i] = timeline_[2 * i];
+    }
+    timeline_.resize((timeline_.size() + 1) / 2);
+    timeline_stride_ *= 2;
+  }
+}
+
 void StatsCollector::on_start(std::uint64_t t_ns, std::uint32_t running) {
   std::lock_guard<std::mutex> lock(mutex_);
-  timeline_.push_back({t_ns, running});
-  peak_concurrency_ = std::max(peak_concurrency_, running);
+  push_timeline_locked(t_ns, running);
 }
 
 void StatsCollector::on_finish(const runtime::JobOutcome& outcome,
@@ -64,14 +79,24 @@ void StatsCollector::on_finish(const runtime::JobOutcome& outcome,
                                bool missed_deadline, std::uint64_t t_ns,
                                std::uint32_t running) {
   std::lock_guard<std::mutex> lock(mutex_);
-  timeline_.push_back({t_ns, running});
+  push_timeline_locked(t_ns, running);
   if (cancelled) {
     ++cancelled_;
   } else {
-    runtime::JobOutcome kept = outcome;
-    kept.result.clear();  // the record's copy stays with the handle
-    completed_.push_back(std::move(kept));
-    modeled_latency_ns_.push_back(modeled_latency_ns);
+    ++completed_count_;
+    first_arrival_ns_ = std::min(first_arrival_ns_, outcome.arrival_ns);
+    last_completion_ns_ = std::max(last_completion_ns_, outcome.completion_ns);
+    queue_wait_hist_.record(outcome.queue_wait_ns());
+    stream_hist_.record(outcome.completion_ns - outcome.start_ns);
+    e2e_hist_.record(outcome.latency_ns());
+    e2e_modeled_hist_.record(modeled_latency_ns);
+    exec_modeled_hist_.record(outcome.modeled_exec_ns());
+    if (sample_outcomes_.size() < kSampleCap) {
+      runtime::JobOutcome kept = outcome;
+      kept.result.clear();  // the record's copy stays with the handle
+      sample_outcomes_.push_back(std::move(kept));
+      sample_modeled_.push_back(modeled_latency_ns);
+    }
   }
   if (missed_deadline) ++deadline_misses_;
 }
@@ -100,6 +125,22 @@ ModeledReplay modeled_replay(std::vector<ReplayJob> jobs, std::size_t workers) {
   return replay;
 }
 
+namespace {
+
+LatencySummary summarize_histogram(const obs::Histogram& hist) {
+  LatencySummary summary;
+  if (hist.count() == 0) return summary;
+  summary.count = hist.count();
+  summary.mean_ns = hist.mean();
+  summary.p50_ns = hist.quantile(0.50);
+  summary.p95_ns = hist.quantile(0.95);
+  summary.p99_ns = hist.quantile(0.99);
+  summary.max_ns = static_cast<double>(hist.max());
+  return summary;
+}
+
+}  // namespace
+
 ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
                                       std::size_t workers) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -108,40 +149,75 @@ ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
   stats.rejected = rejected_;
   stats.cancelled = cancelled_;
   stats.deadline_misses = deadline_misses_;
-  stats.completed = completed_.size();
+  stats.completed = completed_count_;
   stats.peak_concurrency = peak_concurrency_;
   stats.timeline = timeline_;
   stats.groups = std::move(groups);
 
-  std::vector<std::uint64_t> waits, streams, e2e, exec_modeled;
-  std::vector<ReplayJob> replay_jobs;
-  waits.reserve(completed_.size());
-  streams.reserve(completed_.size());
-  e2e.reserve(completed_.size());
-  exec_modeled.reserve(completed_.size());
-  replay_jobs.reserve(completed_.size());
-  std::uint64_t first_arrival = UINT64_MAX;
-  std::uint64_t last_completion = 0;
-  for (const runtime::JobOutcome& job : completed_) {
-    waits.push_back(job.queue_wait_ns());
-    streams.push_back(job.completion_ns - job.start_ns);
-    e2e.push_back(job.latency_ns());
-    exec_modeled.push_back(job.modeled_exec_ns());
-    replay_jobs.push_back({job.arrival_ns, job.modeled_exec_ns()});
-    first_arrival = std::min(first_arrival, job.arrival_ns);
-    last_completion = std::max(last_completion, job.completion_ns);
+  const bool exact = completed_count_ <= sample_outcomes_.size();
+  if (exact) {
+    // Reservoir holds every outcome: report the exact order statistics the
+    // closed-batch tests and benches pin.
+    std::vector<std::uint64_t> waits, streams, e2e, exec_modeled;
+    waits.reserve(sample_outcomes_.size());
+    streams.reserve(sample_outcomes_.size());
+    e2e.reserve(sample_outcomes_.size());
+    exec_modeled.reserve(sample_outcomes_.size());
+    for (const runtime::JobOutcome& job : sample_outcomes_) {
+      waits.push_back(job.queue_wait_ns());
+      streams.push_back(job.completion_ns - job.start_ns);
+      e2e.push_back(job.latency_ns());
+      exec_modeled.push_back(job.modeled_exec_ns());
+    }
+    stats.queue_wait = summarize_latency(std::move(waits));
+    stats.stream_time = summarize_latency(std::move(streams));
+    stats.e2e = summarize_latency(std::move(e2e));
+    stats.e2e_modeled = summarize_latency(sample_modeled_);
+    stats.exec_modeled = summarize_latency(std::move(exec_modeled));
+  } else {
+    // Past the cap: bounded log-bucketed histograms (within one ~3.1% bucket
+    // of exact, the accuracy contract tests/test_obs.cpp pins).
+    stats.queue_wait = summarize_histogram(queue_wait_hist_);
+    stats.stream_time = summarize_histogram(stream_hist_);
+    stats.e2e = summarize_histogram(e2e_hist_);
+    stats.e2e_modeled = summarize_histogram(e2e_modeled_hist_);
+    stats.exec_modeled = summarize_histogram(exec_modeled_hist_);
   }
-  stats.queue_wait = summarize_latency(std::move(waits));
-  stats.stream_time = summarize_latency(std::move(streams));
-  stats.e2e = summarize_latency(std::move(e2e));
-  stats.e2e_modeled = summarize_latency(modeled_latency_ns_);
-  stats.exec_modeled = summarize_latency(std::move(exec_modeled));
+
+  std::vector<ReplayJob> replay_jobs;
+  replay_jobs.reserve(sample_outcomes_.size());
+  for (const runtime::JobOutcome& job : sample_outcomes_) {
+    replay_jobs.push_back({job.arrival_ns, job.modeled_exec_ns()});
+  }
   stats.modeled = modeled_replay(std::move(replay_jobs), workers);
-  if (!completed_.empty()) {
-    stats.sustained_jobs_per_s =
-        sustained_jobs_per_s(completed_.size(), first_arrival, last_completion);
+  if (completed_count_ != 0) {
+    stats.sustained_jobs_per_s = sustained_jobs_per_s(
+        completed_count_, first_arrival_ns_, last_completion_ns_);
   }
   return stats;
+}
+
+void StatsCollector::publish_metrics(obs::Registry& registry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry.set_counter("graphm.service.submitted", submitted_);
+  registry.set_counter("graphm.service.rejected", rejected_);
+  registry.set_counter("graphm.service.completed", completed_count_);
+  registry.set_counter("graphm.service.cancelled", cancelled_);
+  registry.set_counter("graphm.service.deadline_misses", deadline_misses_);
+  registry.set_gauge("graphm.service.peak_concurrency", peak_concurrency_);
+  registry.histogram("graphm.service.queue_wait_ns").merge(queue_wait_hist_);
+  registry.histogram("graphm.service.stream_time_ns").merge(stream_hist_);
+  registry.histogram("graphm.service.e2e_ns").merge(e2e_hist_);
+  registry.histogram("graphm.service.e2e_modeled_ns").merge(e2e_modeled_hist_);
+  registry.histogram("graphm.service.exec_modeled_ns").merge(exec_modeled_hist_);
+}
+
+std::size_t StatsCollector::approx_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sample_outcomes_.capacity() * sizeof(runtime::JobOutcome) +
+         sample_modeled_.capacity() * sizeof(std::uint64_t) +
+         timeline_.capacity() * sizeof(ConcurrencyPoint) +
+         5 * sizeof(obs::Histogram);
 }
 
 }  // namespace graphm::service

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/metrics.hpp"
 
 namespace graphm::service {
@@ -119,8 +120,26 @@ struct ServiceStats {
 };
 
 /// Thread-safe accumulator the service feeds; snapshot() derives the report.
+///
+/// Memory is bounded no matter how many jobs flow through (the always-on
+/// service routes an unbounded stream through one collector):
+///  * every latency metric feeds a log-bucketed obs::Histogram (~15 KB,
+///    fixed) AND a sample reservoir holding the first kSampleCap outcomes.
+///    Up to the cap, snapshot() reports *exact* nearest-rank percentiles
+///    from the samples — byte-identical to the old store-everything path —
+///    beyond it, histogram quantiles (within one ~3.1% bucket of exact);
+///  * the concurrency timeline is capped at kTimelineCap points by stride
+///    decimation: when full it drops every other point and doubles the
+///    recording stride, so it always spans the full run at bounded size;
+///  * the modeled FIFO replay runs over the reservoir (exact below the cap,
+///    a first-cap approximation beyond).
 class StatsCollector {
  public:
+  /// Reservoir size: comfortably above every closed-batch experiment (exact
+  /// stats there) while bounding an open-loop service's footprint.
+  static constexpr std::size_t kSampleCap = 4096;
+  static constexpr std::size_t kTimelineCap = 4096;
+
   void on_submit();
   void on_reject();
   /// `running` is the number of jobs executing after this transition.
@@ -136,15 +155,41 @@ class StatsCollector {
   [[nodiscard]] ServiceStats snapshot(std::vector<GroupRecord> groups,
                                       std::size_t workers) const;
 
+  /// Re-homes counters into `registry` (`graphm.service.*`, publish-style)
+  /// and merges the latency histograms into same-named registry histograms.
+  /// Histogram merging accumulates: publish into a fresh registry per
+  /// snapshot (JobService::metrics_json does).
+  void publish_metrics(obs::Registry& registry) const;
+
+  /// Bytes retained across reservoirs + timeline + histograms; flat once the
+  /// caps are reached (the regression test pins this at 100k finishes).
+  [[nodiscard]] std::size_t approx_memory_bytes() const;
+
  private:
+  void push_timeline_locked(std::uint64_t t_ns, std::uint32_t running);
+
   mutable std::mutex mutex_;
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t deadline_misses_ = 0;
-  std::vector<runtime::JobOutcome> completed_;  // results stripped, stats kept
-  std::vector<std::uint64_t> modeled_latency_ns_;
+
+  std::uint64_t completed_count_ = 0;
+  std::uint64_t first_arrival_ns_ = UINT64_MAX;
+  std::uint64_t last_completion_ns_ = 0;
+  /// First-kSampleCap reservoir (results stripped, stats kept) + the modeled
+  /// latency aligned with it.
+  std::vector<runtime::JobOutcome> sample_outcomes_;
+  std::vector<std::uint64_t> sample_modeled_;
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram stream_hist_;
+  obs::Histogram e2e_hist_;
+  obs::Histogram e2e_modeled_hist_;
+  obs::Histogram exec_modeled_hist_;
+
   std::vector<ConcurrencyPoint> timeline_;
+  std::uint64_t timeline_stride_ = 1;
+  std::uint64_t timeline_seen_ = 0;
   std::uint32_t peak_concurrency_ = 0;
 };
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the obs exporters.
+
+Checks that the file is the structural subset of the trace-event format that
+Perfetto / chrome://tracing actually require to render a timeline:
+
+  * top level is an object with "traceEvents" (list) and "displayTimeUnit";
+  * every event carries name/ph/pid/tid and a numeric non-negative ts
+    (metadata 'M' events are exempt from ts);
+  * ph is one of the phases the exporters emit: X, i, b, e, M;
+  * 'X' events carry a non-negative numeric dur;
+  * 'i' events carry a scope "s";
+  * 'b'/'e' events carry cat and id, and every 'e' closes a matching 'b'
+    (same cat + id, begin-before-end) with no async pair left open;
+  * 'X' spans nest properly per (pid, tid): sorted by ts, a span must either
+    lie fully inside the span on top of the stack or start at-or-after its
+    end — partial overlap means the exporter produced a malformed timeline.
+
+Exits 0 and prints a one-line summary on success; prints every violation and
+exits 1 otherwise. Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "b", "e", "M"}
+
+# Live spans are stamped on a nanosecond clock and exported at microsecond
+# resolution with three decimals; allow half an exported tick of slop before
+# calling two spans overlapping rather than nested.
+EPSILON_US = 0.0005
+
+
+def validate(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    if "displayTimeUnit" not in doc:
+        err('missing "displayTimeUnit"')
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + [f'{path}: "traceEvents" must be a list']
+    if not events:
+        err("traceEvents is empty")
+
+    spans = {}  # (pid, tid) -> [(ts, dur, name)]
+    open_async = {}  # (cat, id) -> count of open begins
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            err(f"{where}: bad ph {ph!r}")
+            continue
+        if ph == "M":
+            # Process-level metadata (process_name) carries no tid;
+            # thread-level metadata must say which thread it names.
+            required = ("name", "pid")
+            if ev.get("name") in ("thread_name", "thread_sort_index"):
+                required = ("name", "pid", "tid")
+        else:
+            required = ("name", "pid", "tid")
+        for key in required:
+            if key not in ev:
+                err(f"{where} (ph={ph}): missing {key!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"{where} (ph={ph}): bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"{where}: 'X' with bad dur {dur!r}")
+                continue
+            spans.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+                (ts, dur, ev.get("name", "?"))
+            )
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                err(f"{where}: 'i' with bad scope {ev.get('s')!r}")
+        elif ph in ("b", "e"):
+            if "cat" not in ev or "id" not in ev:
+                err(f"{where}: '{ph}' missing cat/id")
+                continue
+            key = (ev["cat"], ev["id"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    err(f"{where}: 'e' for {key} with no open 'b'")
+                else:
+                    open_async[key] -= 1
+
+    for key, count in sorted(open_async.items()):
+        if count != 0:
+            err(f"async pair {key} left open ({count} unmatched 'b')")
+
+    # Monotone nesting per track: walking spans in start order, each span is
+    # either contained in the innermost open span or starts after it ends.
+    for (pid, tid), track in sorted(spans.items(), key=lambda kv: str(kv[0])):
+        track.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for ts, dur, name in track:
+            while stack and ts >= stack[-1][0] + stack[-1][1] - EPSILON_US:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1][0] + stack[-1][1]
+                if ts + dur > parent_end + EPSILON_US:
+                    err(
+                        f"track (pid={pid}, tid={tid}): span {name!r} "
+                        f"[{ts}, {ts + dur}] partially overlaps "
+                        f"{stack[-1][2]!r} [{stack[-1][0]}, {parent_end}]"
+                    )
+                    continue
+            stack.append((ts, dur, name))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
