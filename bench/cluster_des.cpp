@@ -12,7 +12,9 @@
 //
 // Emits BENCH_cluster.json. GRAPHM_CLUSTER_SMOKE=1 shrinks everything to a
 // few seconds (tiny RMAT graph, 8..16 nodes) for the CI smoke invocation;
-// GRAPHM_BENCH_OUT overrides the output path.
+// GRAPHM_BENCH_OUT overrides the output path. GRAPHM_TRACE=<path> records
+// the final shared-mode λ-sweep run's DES timeline plus a metrics snapshot
+// next to it (<path>.metrics.json).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -22,7 +24,10 @@
 #include "bench_common.hpp"
 #include "cluster/cluster_service.hpp"
 #include "cluster/des_engine.hpp"
+#include "cluster/trace_export.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/job_queue.hpp"
 
 using namespace graphm;
@@ -138,6 +143,9 @@ int main() {
   table.set_header({"backend", "mode", "lambda", "jobs/s", "p50 ms", "p95 ms",
                     "queue p95 ms", "loads"});
   bool shared_loads_fewer = true;
+  const char* trace_path = obs::trace_env_path();
+  std::vector<TraceRecord> traced_records;
+  obs::Registry traced_metrics;
   std::fprintf(f, "  \"lambda_sweep\": {\n");
   for (std::size_t e = 0; e < 2; ++e) {
     const Backend backend = backends[e];
@@ -151,8 +159,11 @@ int main() {
       spec[0].engine = backend;
       spec[0].shared_structure = shared == 1;
       spec[0].num_nodes = service_nodes;
-      services[shared] =
-          std::make_unique<ClusterService>(g, spec, ClusterServiceConfig{});
+      ClusterServiceConfig config;
+      // Flight-recorder check rides the shared mode: each traced run
+      // overwrites the last, so the export below holds the final λ.
+      config.des.record_trace = trace_path != nullptr && shared == 1;
+      services[shared] = std::make_unique<ClusterService>(g, spec, config);
     }
     std::fprintf(f, "    \"%s\": {\n", backend_name(backend));
     for (std::size_t li = 0; li < lambdas.size(); ++li) {
@@ -170,6 +181,10 @@ int main() {
       for (int shared = 1; shared >= 0; --shared) {
         const auto stats = services[shared]->run(submissions);
         const auto& s = stats[0];
+        if (shared == 1 && trace_path != nullptr) {
+          traced_records = services[shared]->last_trace();
+          services[shared]->publish_metrics(traced_metrics, stats);
+        }
         loads_by_mode[shared] = s.structure_loads;
         const char* mode = shared == 1 ? "shared" : "private";
         table.add_row({backend_name(backend), mode, util::TablePrinter::fmt(lambda, 0),
@@ -199,6 +214,21 @@ int main() {
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "short write to %s\n", out_path);
     return 1;
+  }
+
+  if (trace_path != nullptr) {
+    if (!export_des_trace(trace_path, traced_records)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    const std::string metrics_path = std::string(trace_path) + ".metrics.json";
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf != nullptr) {
+      const std::string json = traced_metrics.json();
+      std::fwrite(json.data(), 1, json.size(), mf);
+      std::fclose(mf);
+    }
+    std::printf("wrote %s (%zu trace records)\n", trace_path, traced_records.size());
   }
 
   table.print();

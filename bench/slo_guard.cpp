@@ -1,0 +1,328 @@
+// Closed-loop SLO guard benchmark: the one-week concurrency trace replayed
+// through a two-replica ClusterService under a seeded fault storm, with
+// static admission (kImmediate: admit everything, suffer the queues) against
+// adaptive admission (kAdaptive: obs::SloMonitor burn-rate tracking sheds
+// best-effort work while an objective is Critical). The SLO threshold is
+// derived from the measured fault-free p99 — deterministic in the DES — so
+// the same margin applies at every scale.
+//
+// Headline metrics (bench/baselines/BENCH_slo.json, tools/bench_compare.py):
+// goodput (completions inside the SLO per sim-second of offered load) and
+// p99 of admitted jobs, adaptive vs static at equal offered load. The SHAPE
+// story: under the storm, adaptive keeps admitted-job p99 within the SLO
+// threshold while static blows through it, at equal-or-better goodput.
+//
+// Emits BENCH_slo.json. GRAPHM_SLO_SMOKE=1 shrinks the trace to 48 hours on
+// a tiny RMAT graph for the CI smoke invocation; GRAPHM_BENCH_OUT overrides
+// the output path. GRAPHM_TRACE=<path> records the adaptive storm run's DES
+// trace (SLO sheds and tri-state transitions render on the "slo" track) plus
+// a metrics snapshot next to it (<path>.metrics.json) including the
+// graphm.slo.* instruments.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster_service.hpp"
+#include "cluster/faults.hpp"
+#include "cluster/trace_export.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "runtime/job_queue.hpp"
+#include "service/service_stats.hpp"
+
+using namespace graphm;
+using namespace graphm::bench;
+using namespace graphm::cluster;
+
+namespace {
+
+bool smoke() { return std::getenv("GRAPHM_SLO_SMOKE") != nullptr; }
+
+constexpr std::uint64_t kHourNs = 1'000'000;  // one trace hour = 1 ms sim
+
+struct RunSummary {
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;       // completed within the SLO threshold
+  std::uint64_t slo_shed = 0;
+  std::uint64_t p99_ns = 0;     // over admitted (completed) jobs
+  double goodput = 0.0;         // good completions / offered-load second
+};
+
+RunSummary summarize(const std::vector<JobReport>& reports,
+                     const std::vector<Submission>& submissions,
+                     const FaultStats& fstats, std::uint64_t threshold_ns,
+                     std::uint64_t span_ns) {
+  RunSummary s;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(reports.size());
+  for (const JobReport& r : reports) {
+    if (r.outcome != service::Outcome::kCompleted) continue;
+    ++s.completed;
+    const std::uint64_t e2e = r.completion_ns - submissions[r.job].arrival_ns;
+    latencies.push_back(e2e);
+    if (e2e <= threshold_ns) ++s.good;
+  }
+  s.slo_shed = fstats.slo_shed;
+  s.p99_ns = service::summarize_latency(std::move(latencies)).p99_ns;
+  s.goodput = span_ns > 0 ? static_cast<double>(s.good) / seconds(span_ns) : 0.0;
+  return s;
+}
+
+/// Static is today's baseline: admit everything, run everything to
+/// completion, late or not. Adaptive is the whole closed loop: burn-rate
+/// tracking sheds over-quota work while Critical, and work that turns late
+/// anyway is aborted at its deadline — which records the violation right
+/// then, so the burn windows see the storm while it is happening instead of
+/// when the stragglers finally finish.
+std::vector<BackendConfig> make_backends(bool tiny, service::AdmissionPolicy policy,
+                                         bool cancel_past_deadline) {
+  std::vector<BackendConfig> backends(2);
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    backends[b].dataset = "wk";
+    backends[b].num_nodes = tiny ? 8 : 32;
+    backends[b].max_concurrent = 2;
+    backends[b].replica_id = b;
+    backends[b].policy = policy;
+    backends[b].cancel_past_deadline = cancel_past_deadline;
+    // While Critical, shed arrivals as soon as anything at all is queued —
+    // a storm-degraded backend has no business building backlog.
+    backends[b].adaptive_queue_quota = 2;
+  }
+  return backends;
+}
+
+void emit_run(std::FILE* f, const char* key, const RunSummary& s, const char* tail) {
+  std::fprintf(f,
+               "    \"%s\": {\"completed\": %llu, \"good\": %llu, "
+               "\"slo_shed\": %llu, \"p99_ms\": %.3f, \"goodput_per_s\": %.1f}%s\n",
+               key, static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.good),
+               static_cast<unsigned long long>(s.slo_shed), s.p99_ns / 1e6,
+               s.goodput, tail);
+}
+
+}  // namespace
+
+int main() {
+  const bool tiny = smoke();
+  const auto g = tiny ? graph::generate_rmat(1 << 12, 1 << 15, 42)
+                      : graph::load_dataset("ukunion_s", bench_scale());
+
+  // Week trace drives arrivals (one trace hour = 1 ms sim), same compression
+  // as bench_cluster_faults so fault windows open and close mid-traffic.
+  // At full scale the jobs are an order of magnitude heavier, so the trace
+  // hour stretches to keep the cluster service-dominated rather than
+  // saturated: admission feedback must arrive while admissions still happen.
+  const std::uint64_t hour_ns = tiny ? kHourNs : 4 * kHourNs;
+  const std::size_t hours = tiny ? 48 : 168;
+  const std::size_t num_jobs = tiny ? 64 : 96;
+  const auto trace = runtime::synthesize_week_trace(hours, 7);
+  const auto arrivals = runtime::trace_to_arrivals(
+      trace, /*job_duration_hours=*/tiny ? 8.0 : 12.0, hour_ns, num_jobs);
+  const auto specs = runtime::paper_mix(arrivals.size(), g.num_vertices(), 0x51);
+  const std::uint64_t span_ns = arrivals.empty() ? hour_ns : arrivals.back();
+
+  // -------------------------------------------------------------------------
+  // Calibration: fault-free static run with no deadlines measures the clean
+  // p99; the SLO threshold is that p99 with headroom. Deterministic in the
+  // DES, so the margin is scale-independent.
+  // -------------------------------------------------------------------------
+  std::vector<Submission> calibration(arrivals.size());
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    calibration[j].spec = specs[j];
+    calibration[j].arrival_ns = arrivals[j];
+    calibration[j].dataset = "wk";
+  }
+  ClusterServiceConfig calib_config;
+  calib_config.des.seed = 0x510;
+  ClusterService calibrator(
+      g,
+      make_backends(tiny, service::AdmissionPolicy::kImmediate,
+                    /*cancel_past_deadline=*/false),
+      calib_config);
+  calibrator.run(calibration);
+  std::vector<std::uint64_t> clean_latencies;
+  std::uint64_t clean_max = 0;
+  for (const JobReport& r : calibrator.last_job_reports()) {
+    if (r.outcome == service::Outcome::kCompleted) {
+      clean_latencies.push_back(r.completion_ns - calibration[r.job].arrival_ns);
+      clean_max = std::max(clean_max, clean_latencies.back());
+    }
+  }
+  const std::uint64_t clean_p99 =
+      service::summarize_latency(std::move(clean_latencies)).p99_ns;
+  // p99 * 1.5, clamped above the fault-free max: the objective must be
+  // satisfiable with zero violations on a healthy cluster, or the detector
+  // would be reacting to the workload instead of the faults.
+  const std::uint64_t threshold_ns = std::max<std::uint64_t>(
+      1, std::max(clean_p99 + clean_p99 / 2, clean_max + clean_max / 10));
+
+  // The guarded submissions: every job carries a deadline equal to the SLO
+  // budget, so "good" (completed within threshold) and "met the deadline"
+  // are the same predicate on both policies.
+  std::vector<Submission> submissions = calibration;
+  for (Submission& s : submissions) {
+    s.deadline_ns = service::deadline_from(s.arrival_ns, threshold_ns);
+  }
+
+  obs::SloSpec objective;
+  objective.name = "e2e";
+  objective.target_quantile = 0.99;  // 1% error budget: storm violations dominate
+  objective.threshold_ns = threshold_ns;
+  objective.window_ns = 24 * hour_ns;  // 24 trace hours; fast window = 6
+  objective.sub_windows = 4;
+
+  // Storm sized to the arrival window, as in bench_cluster_faults.
+  StormConfig storm;
+  storm.horizon_ns = span_ns;
+  storm.crashes = 2;
+  storm.slowdowns = tiny ? 3 : 5;
+  storm.partitions = 1;
+  storm.min_duration_ns = 8 * hour_ns;
+  storm.max_duration_ns = (tiny ? 24 : 36) * hour_ns;
+  storm.slowdown_factor = tiny ? 8.0 : 12.0;
+
+  const char* trace_path = obs::trace_env_path();
+
+  struct PairResult {
+    RunSummary clean;
+    RunSummary storm;
+    std::unique_ptr<ClusterService> service;       // still holds the storm run
+    std::vector<BackendStats> storm_stats;
+  };
+  const auto run_pair = [&](service::AdmissionPolicy policy, bool cancel,
+                            bool record_trace) {
+    PairResult result;
+    ClusterServiceConfig config;
+    config.des.seed = 0x510;
+    config.des.record_trace = record_trace;
+    config.objectives = {objective};
+    result.service = std::make_unique<ClusterService>(
+        g, make_backends(tiny, policy, cancel), config);
+    ClusterService& service = *result.service;
+    const FaultPlan plan = FaultPlan::storm(0x510, service.num_backends(), storm);
+    service.run(submissions);
+    result.clean = summarize(service.last_job_reports(), submissions,
+                             service.last_fault_stats(), threshold_ns, span_ns);
+    result.storm_stats = service.run(submissions, plan);
+    result.storm = summarize(service.last_job_reports(), submissions,
+                             service.last_fault_stats(), threshold_ns, span_ns);
+    return result;
+  };
+
+  const PairResult statics = run_pair(service::AdmissionPolicy::kImmediate,
+                                      /*cancel=*/false, /*record_trace=*/false);
+  const PairResult adaptives = run_pair(service::AdmissionPolicy::kAdaptive,
+                                        /*cancel=*/true, trace_path != nullptr);
+  const RunSummary& static_clean = statics.clean;
+  const RunSummary& static_storm = statics.storm;
+  const RunSummary& adaptive_clean = adaptives.clean;
+  const RunSummary& adaptive_storm = adaptives.storm;
+
+  if (trace_path != nullptr) {
+    // The adaptive storm run was the service's last: its trace carries the
+    // "slo" track (sheds + tri-state transitions).
+    if (!cluster::export_des_trace(trace_path, adaptives.service->last_trace())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    obs::Registry registry;
+    adaptives.service->publish_metrics(registry, adaptives.storm_stats);
+    const std::string metrics_path = std::string(trace_path) + ".metrics.json";
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf != nullptr) {
+      const std::string json = registry.json();
+      std::fwrite(json.data(), 1, json.size(), mf);
+      std::fclose(mf);
+    }
+    std::printf("wrote %s (%zu trace records)\n", trace_path,
+                adaptives.service->last_trace().size());
+  }
+
+  util::TablePrinter table("SLO guard: week trace, static vs adaptive admission");
+  table.set_header({"run", "completed", "good", "slo-shed", "p99 ms", "goodput/s"});
+  const auto row = [&table](const char* name, const RunSummary& s) {
+    table.add_row({name, std::to_string(s.completed), std::to_string(s.good),
+                   std::to_string(s.slo_shed),
+                   util::TablePrinter::fmt(s.p99_ns / 1e6, 2),
+                   util::TablePrinter::fmt(s.goodput, 1)});
+  };
+  row("static clean", static_clean);
+  row("static storm", static_storm);
+  row("adaptive clean", adaptive_clean);
+  row("adaptive storm", adaptive_storm);
+  table.print();
+  std::printf("slo threshold: %.2f ms (clean p99 %.2f ms x 1.5)\n",
+              threshold_ns / 1e6, clean_p99 / 1e6);
+
+  // The closed-loop story, as SHAPE checks:
+  //  * clean runs never trip the detector — adaptive == static fault-free;
+  //  * under the storm, adaptive keeps admitted-job p99 inside the SLO
+  //    threshold while static blows through it;
+  //  * shedding buys that tail without losing goodput at equal offered load.
+  // "Inert when healthy": fault-free, the detector never sheds, everything
+  // completes inside the SLO on both policies. (EDF ordering under kAdaptive
+  // may permute equal-deadline dispatches, so timings need not be
+  // bit-identical — the golden-pin test covers that with a static policy.)
+  const bool clean_identical = adaptive_clean.slo_shed == 0 &&
+                               adaptive_clean.completed == static_clean.completed &&
+                               adaptive_clean.good == adaptive_clean.completed &&
+                               static_clean.good == static_clean.completed;
+  // Deadline aborts land on the backend's next checkpoint, so an admitted
+  // job can finish up to one superstep past its deadline — grant the tail
+  // that much grace (5%) rather than tuning the threshold around it.
+  const bool adaptive_within_slo =
+      adaptive_storm.p99_ns <= threshold_ns + threshold_ns / 20;
+  const bool static_blows_slo = static_storm.p99_ns > threshold_ns;
+  const bool goodput_held = adaptive_storm.goodput >= static_storm.goodput;
+  const bool detector_acted = adaptive_storm.slo_shed > 0;
+
+  const char* out_path = std::getenv("GRAPHM_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_slo.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"slo_guard\",\n");
+  std::fprintf(f,
+               "  \"workload\": \"week trace, %s, %zu jobs, 2 replicas, "
+               "adaptive vs static admission\",\n",
+               tiny ? "rmat smoke" : "ukunion_s", submissions.size());
+  std::fprintf(f, "  \"slo_threshold_ms\": %.3f,\n", threshold_ns / 1e6);
+  std::fprintf(f, "  \"runs\": {\n");
+  emit_run(f, "static_clean", static_clean, ",");
+  emit_run(f, "static_storm", static_storm, ",");
+  emit_run(f, "adaptive_clean", adaptive_clean, ",");
+  emit_run(f, "adaptive_storm", adaptive_storm, "");
+  std::fprintf(f, "  },\n");
+  // Headline metrics for tools/bench_compare.py (direction-aware).
+  std::fprintf(f, "  \"goodput_adaptive_storm\": %.1f,\n", adaptive_storm.goodput);
+  std::fprintf(f, "  \"p99_adaptive_storm_ms\": %.3f,\n", adaptive_storm.p99_ns / 1e6);
+  std::fprintf(f, "  \"shape_pass\": %s\n}\n",
+               (clean_identical && adaptive_within_slo && static_blows_slo &&
+                goodput_held && detector_acted)
+                   ? "true"
+                   : "false");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "short write to %s\n", out_path);
+    return 1;
+  }
+
+  print_shape("fault-free: adaptive == static (detector never fires)", clean_identical);
+  print_shape("storm: adaptive keeps admitted p99 within the SLO", adaptive_within_slo);
+  print_shape("storm: static admission blows through the SLO", static_blows_slo);
+  print_shape("storm: adaptive goodput >= static at equal offered load", goodput_held);
+  print_shape("storm: the detector actually shed work", detector_acted);
+  std::printf("wrote %s\n", out_path);
+  return (clean_identical && adaptive_within_slo && static_blows_slo &&
+          goodput_held && detector_acted)
+             ? 0
+             : 1;
+}

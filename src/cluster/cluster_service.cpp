@@ -162,6 +162,7 @@ struct BackendState {
   std::uint64_t failed = 0;
   std::uint64_t redispatched_in = 0;
   std::uint64_t failover_shed = 0;
+  std::uint64_t slo_shed = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t crashes = 0;
   std::vector<std::uint64_t> queue_wait_ns;
@@ -189,14 +190,44 @@ struct RunContext {
   /// EventLoop::run() terminates).
   std::uint64_t jobs_outstanding = 0;
   std::size_t arrivals_remaining = 0;
+  /// SLO tracking on the simulated clock; nullptr/disabled when the config
+  /// names no objectives (every call below guards on it).
+  obs::SloMonitor* slo = nullptr;
 };
+
+/// Re-evaluates every objective at sim-now and traces the tri-state signal's
+/// transitions. Called at admissions (where shed decisions are made), so the
+/// DES stays single-threaded-deterministic: same arrivals, same windows,
+/// same decisions. Emits nothing while the signal rests at Healthy.
+obs::SloState evaluate_slo(RunContext& ctx, const BackendState& state) {
+  const obs::SloState before = ctx.slo->state();
+  const obs::SloState after = ctx.slo->evaluate(ctx.loop.now_ns());
+  if (after != before) {
+    ctx.loop.trace(TraceCode::kSloStateChange, state.backend_id, 0,
+                   static_cast<std::uint64_t>(after));
+  }
+  return after;
+}
+
+/// Backend health folded into the detector as capacity: live (not
+/// declared-dead) backends over total. Called on every dead/rejoin
+/// transition; pure bookkeeping, no events, no trace.
+void update_slo_capacity(RunContext& ctx) {
+  if (ctx.slo == nullptr || !ctx.slo->enabled()) return;
+  std::size_t live = 0;
+  for (const BackendState& state : ctx.states) {
+    if (state.health != Health::kDead) ++live;
+  }
+  ctx.slo->set_capacity(static_cast<double>(live) /
+                        static_cast<double>(ctx.states.size()));
+}
 
 /// Index of the next job to dispatch under the backend's policy: EDF picks
 /// the tightest real deadline via the shared service::edf_deadline_key
 /// (deadline-less jobs — the service::kNoDeadline sentinel — last, FIFO
 /// among equals); everything else is FIFO. `ready` is in arrival order.
 std::size_t pick_next(const BackendState& state) {
-  if (state.config->policy != service::AdmissionPolicy::kDeadline) return 0;
+  if (!service::policy_uses_edf(state.config->policy)) return 0;
   std::size_t best = 0;
   auto key = [](const Ticket* t) { return service::edf_deadline_key(t->deadline_ns); };
   for (std::size_t i = 1; i < state.ready.size(); ++i) {
@@ -239,6 +270,11 @@ void dispatch_one(RunContext& ctx, BackendState& state, Ticket* t) {
     // only burn the backend's disks and cores on a guaranteed miss.
     ++state.deadline_misses;
     ++state.deadline_aborts;
+    // As much an SLO violation as a mid-run abort: the request failed its
+    // latency objective (it just failed it in the queue).
+    if (ctx.slo != nullptr && ctx.slo->enabled()) {
+      ctx.slo->violation(state.config->dataset, loop.now_ns());
+    }
     loop.trace(TraceCode::kJobAborted, state.backend_id, t->id, t->deadline_ns);
     finish(ctx, t, service::Outcome::kDeadlineShed);
     return;
@@ -264,6 +300,9 @@ void dispatch_one(RunContext& ctx, BackendState& state, Ticket* t) {
         if (end == JobEnd::kAborted) {
           ++state.deadline_misses;
           ++state.deadline_aborts;
+          if (ctx.slo != nullptr && ctx.slo->enabled()) {
+            ctx.slo->violation(state.config->dataset, completion);
+          }
           finish(ctx, t, service::Outcome::kDeadlineAborted);
         } else {
           ++state.completed;
@@ -271,6 +310,10 @@ void dispatch_one(RunContext& ctx, BackendState& state, Ticket* t) {
           state.e2e_ns.push_back(completion - t->arrival_ns);
           if (t->deadline_ns != service::kNoDeadline && completion > t->deadline_ns) {
             ++state.deadline_misses;
+          }
+          if (ctx.slo != nullptr && ctx.slo->enabled()) {
+            ctx.slo->observe(state.config->dataset, completion,
+                             completion - t->arrival_ns);
           }
           finish(ctx, t, service::Outcome::kCompleted);
         }
@@ -356,6 +399,31 @@ void admit(RunContext& ctx, BackendState& state, Ticket* t, bool redispatch) {
       state.saw_arrival = true;
       state.first_arrival_ns = loop.now_ns();
     }
+    if (ctx.slo != nullptr && ctx.slo->enabled()) {
+      // The detector is consulted at every arrival (tracking alone — the
+      // evaluation is pure computation, no events, no randomness); only
+      // kAdaptive backends act on it. While Critical, the lowest-priority
+      // work sheds: deadline-less jobs outright, deadlined jobs once the
+      // queue is over quota. Re-opening is the monitor's hysteresis — the
+      // fast window cooling below reopen_burn flips the state back.
+      const obs::SloState slo_state = evaluate_slo(ctx, state);
+      if (state.config->policy == service::AdmissionPolicy::kAdaptive &&
+          slo_state == obs::SloState::kCritical) {
+        const std::size_t quota =
+            state.config->adaptive_queue_quota != 0
+                ? state.config->adaptive_queue_quota
+                : std::max<std::size_t>(1, state.config->max_concurrent);
+        if (t->deadline_ns == service::kNoDeadline || state.queued() >= quota) {
+          ++state.slo_shed;
+          ++ctx.fstats.slo_shed;
+          ctx.slo->count_shed(state.config->dataset);
+          loop.trace(TraceCode::kJobSloShed, state.backend_id, t->id,
+                     static_cast<std::uint64_t>(ctx.slo->worst_eval().fast_burn * 1e3));
+          finish(ctx, t, service::Outcome::kSloShed);
+          return;
+        }
+      }
+    }
     if (state.queued() >= std::max<std::size_t>(1, state.config->max_queue_depth)) {
       ++state.rejected;
       loop.trace(TraceCode::kJobRejected, state.backend_id, t->id, state.queued());
@@ -404,6 +472,7 @@ void declare_dead(RunContext& ctx, BackendState& state) {
   for (Ticket* t : drained) {
     if (!t->terminal) reroute(ctx, t);
   }
+  update_slo_capacity(ctx);
 }
 
 /// The heartbeat monitor, rescheduling itself every heartbeat interval while
@@ -438,6 +507,7 @@ void monitor_tick(RunContext& ctx) {
           state.health = Health::kAlive;
           ++ctx.fstats.rejoins;
           ctx.loop.trace(TraceCode::kBackendRejoined, state.backend_id, 0, 0);
+          update_slo_capacity(ctx);
           try_dispatch(ctx, state);
         }
         break;
@@ -532,9 +602,15 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
         &placement_cache_[b]);
   }
 
-  RunContext ctx{loop, states, config_.failover, {}, {}, {}, 0, submissions.size()};
+  RunContext ctx{loop, states, config_.failover, {}, {}, {}, 0, submissions.size(), nullptr};
   ctx.all_backends.resize(backends_.size());
   for (std::size_t b = 0; b < backends_.size(); ++b) ctx.all_backends[b] = b;
+
+  // Fresh monitor per run (windows must not leak across runs — determinism
+  // demands each run sees only its own history). Kept after the run for
+  // publish_metrics / last_slo().
+  auto slo_monitor = std::make_unique<obs::SloMonitor>(config_.objectives);
+  ctx.slo = slo_monitor.get();
 
   // The heartbeat monitor starts at t=0 and outlives the last job; it emits
   // nothing and draws nothing while the cluster is healthy.
@@ -634,6 +710,7 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
     stats.failed = state.failed;
     stats.redispatched_in = state.redispatched_in;
     stats.failover_shed = state.failover_shed;
+    stats.slo_shed = state.slo_shed;
     stats.faults_injected = state.faults_injected;
     stats.crashes = state.crashes;
     stats.queue_wait = service::summarize_latency(std::move(state.queue_wait_ns));
@@ -665,6 +742,7 @@ std::vector<BackendStats> ClusterService::run(const std::vector<Submission>& sub
   std::sort(last_job_reports_.begin(), last_job_reports_.end(),
             [](const JobReport& a, const JobReport& b) { return a.job < b.job; });
   last_fault_stats_ = ctx.fstats;
+  last_slo_ = std::move(slo_monitor);
   last_trace_hash_ = loop.trace_hash();
   last_events_ = loop.events_processed();
   last_trace_ = loop.take_trace_records();
@@ -686,6 +764,8 @@ void ClusterService::publish_metrics(obs::Registry& registry,
   registry.set_counter("graphm.cluster.redispatched_jobs", f.redispatched_jobs);
   registry.set_counter("graphm.cluster.retries", f.retries);
   registry.set_counter("graphm.cluster.failover_shed", f.failover_shed);
+  registry.set_counter("graphm.cluster.slo_shed", f.slo_shed);
+  if (last_slo_ != nullptr) last_slo_->publish(registry);
 
   for (std::size_t b = 0; b < stats.size(); ++b) {
     const BackendStats& s = stats[b];
@@ -698,6 +778,7 @@ void ClusterService::publish_metrics(obs::Registry& registry,
     registry.set_counter(prefix + "failed", s.failed);
     registry.set_counter(prefix + "redispatched_in", s.redispatched_in);
     registry.set_counter(prefix + "failover_shed", s.failover_shed);
+    registry.set_counter(prefix + "slo_shed", s.slo_shed);
     registry.set_counter(prefix + "faults_injected", s.faults_injected);
     registry.set_counter(prefix + "crashes", s.crashes);
   }

@@ -37,10 +37,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "cluster/des_engine.hpp"
 #include "cluster/faults.hpp"
 #include "graph/edge_list.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "service/admission.hpp"
 #include "service/service_stats.hpp"
 
@@ -79,6 +82,10 @@ struct BackendConfig {
   /// frees its disk/core/structure reservations early). Off by default —
   /// deadlines then only feed EDF ordering and the miss counter.
   bool cancel_past_deadline = false;
+  /// kAdaptive only: queue depth above which even deadlined arrivals shed
+  /// while an objective is Critical (deadline-less arrivals always shed
+  /// then). 0 = max_concurrent (one dispatch round of backlog).
+  std::size_t adaptive_queue_quota = 0;
   /// Which replica of the shard this backend is (informational; echoed in
   /// BackendStats — routing load-balances regardless).
   std::uint32_t replica_id = 0;
@@ -95,6 +102,15 @@ struct ClusterServiceConfig {
   DesConfig des;
   /// Health tracking + retry/backoff policy for replica failover.
   FailoverConfig failover;
+  /// SLO objectives tracked on the simulated clock (obs::SloMonitor, scoped
+  /// per dataset). Non-empty turns tracking on for every run(); backends
+  /// whose policy is service::AdmissionPolicy::kAdaptive additionally shed
+  /// on the Critical signal. Backend health folds in as capacity: each
+  /// declared-dead backend scales every burn by total/live, so a degraded
+  /// cluster trips the detector earlier. Tracking alone emits no trace and
+  /// draws no randomness — fault-free golden traces stay bit-identical
+  /// until an objective actually fires.
+  std::vector<obs::SloSpec> objectives;
 };
 
 /// One JobService-style submission on the simulated clock.
@@ -128,6 +144,9 @@ struct BackendStats {
   std::uint64_t failed = 0;
   std::uint64_t redispatched_in = 0;
   std::uint64_t failover_shed = 0;
+  /// Arrivals shed by adaptive admission while the burn signal was Critical
+  /// (service::Outcome::kSloShed).
+  std::uint64_t slo_shed = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t crashes = 0;
 
@@ -168,6 +187,7 @@ struct FaultStats {
   std::uint64_t redispatched_jobs = 0;
   std::uint64_t retries = 0;  // backoff waits scheduled
   std::uint64_t failover_shed = 0;
+  std::uint64_t slo_shed = 0;  // adaptive-admission sheds (whole run)
 };
 
 /// Shards `graph` into `shards` edge lists by contiguous source ranges,
@@ -211,6 +231,9 @@ class ClusterService {
     return last_job_reports_;
   }
   [[nodiscard]] const FaultStats& last_fault_stats() const { return last_fault_stats_; }
+  /// The last run's SLO monitor (nullptr before the first run or when no
+  /// objectives are configured) — cached evals, per-scope sheds.
+  [[nodiscard]] const obs::SloMonitor* last_slo() const { return last_slo_.get(); }
 
   /// Re-homes the last run's fault/failover counters and `stats` (the
   /// vector run() returned) into `registry`: whole-run totals under
@@ -240,6 +263,7 @@ class ClusterService {
   std::vector<Placement> placement_cache_;
 
   std::uint64_t unroutable_ = 0;
+  std::unique_ptr<obs::SloMonitor> last_slo_;
   std::uint64_t last_trace_hash_ = 0;
   std::uint64_t last_events_ = 0;
   std::vector<TraceRecord> last_trace_;

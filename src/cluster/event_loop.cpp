@@ -18,6 +18,8 @@ const char* trace_code_name(TraceCode code) {
     case TraceCode::kJobFailed: return "job-failed";
     case TraceCode::kJobRedispatched: return "redispatch";
     case TraceCode::kJobShed: return "shed";
+    case TraceCode::kJobSloShed: return "slo-shed";
+    case TraceCode::kSloStateChange: return "slo-state";
   }
   return "?";
 }

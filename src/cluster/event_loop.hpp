@@ -41,6 +41,12 @@ enum class TraceCode : std::uint32_t {
   kJobFailed = 12,       // job died with its backend (detail: sim epoch)
   kJobRedispatched = 13, // failover re-submission (actor: new backend, detail: attempt)
   kJobShed = 14,         // failover gave up: replicas down / budget out (detail: attempts)
+  // Closed-loop SLO milestones (obs::SloMonitor on the simulated clock,
+  // docs/observability.md "SLOs and error budgets"). Neither fires while
+  // every objective stays Healthy, so SLO *tracking* alone keeps traces
+  // bit-identical — only the detector acting changes the hash.
+  kJobSloShed = 15,      // adaptive admission shed it (detail: fast burn, milli)
+  kSloStateChange = 16,  // tri-state signal moved (detail: new SloState)
 };
 
 /// Human-readable code label (the failover example prints raw traces).

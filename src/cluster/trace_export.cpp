@@ -4,6 +4,8 @@
 #include <map>
 
 #include "cluster/faults.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 
 namespace graphm::cluster {
 
@@ -39,10 +41,11 @@ obs::TraceProcess des_trace_process(const std::vector<TraceRecord>& records,
     process.tracks.push_back("backend " + std::to_string(b));
   }
 
-  const auto instant = [&process](const TraceRecord& r, std::string name) {
+  const auto instant_on = [&process](std::uint32_t track, const TraceRecord& r,
+                                     std::string name) {
     obs::TraceEvent e;
     e.ts_ns = r.t_ns;
-    e.track = r.actor;
+    e.track = track;
     e.job = r.job;
     e.detail = r.detail;
     e.phase = 'i';
@@ -50,6 +53,21 @@ obs::TraceProcess des_trace_process(const std::vector<TraceRecord>& records,
     name.copy(e.name, n);
     e.name[n] = '\0';
     process.events.push_back(e);
+  };
+  const auto instant = [&instant_on](const TraceRecord& r, std::string name) {
+    instant_on(r.actor, r, std::move(name));
+  };
+
+  // Detector events render on one dedicated "slo" track (created only when
+  // the detector actually fired) so the burn-rate signal sits right next to
+  // the latency spans that caused it in the viewer.
+  std::uint32_t slo_track = obs::Tracer::kNoTrack;
+  const auto slo_track_id = [&process, &slo_track] {
+    if (slo_track == obs::Tracer::kNoTrack) {
+      slo_track = static_cast<std::uint32_t>(process.tracks.size());
+      process.tracks.push_back("slo");
+    }
+    return slo_track;
   };
 
   // A backend dispatches up to max_concurrent jobs at once, and complete
@@ -159,6 +177,16 @@ obs::TraceProcess des_trace_process(const std::vector<TraceRecord>& records,
         break;
       case TraceCode::kBackendRejoined:
         instant(r, "rejoin");
+        break;
+      case TraceCode::kJobSloShed:
+        // Never dispatched, so no span to close — the shed is an instant on
+        // the detector's track (detail carries the fast burn, milli).
+        instant_on(slo_track_id(), r, "slo shed job " + std::to_string(r.job));
+        break;
+      case TraceCode::kSloStateChange:
+        instant_on(slo_track_id(), r,
+                   std::string("slo ") + obs::slo_state_name(static_cast<obs::SloState>(
+                                             static_cast<int>(r.detail))));
         break;
     }
   }

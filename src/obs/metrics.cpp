@@ -93,6 +93,16 @@ void Histogram::merge(const Histogram& other) {
   }
 }
 
+void Histogram::reset() {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);

@@ -105,6 +105,12 @@ class Histogram {
   /// Bucket-wise accumulate of `other` into this histogram.
   void merge(const Histogram& other);
 
+  /// Zeroes every bucket and the count/sum/min/max accumulators — O(buckets),
+  /// not O(samples). Not atomic with respect to concurrent record() calls;
+  /// owners that rotate (obs::WindowedHistogram) serialize reset against
+  /// recording themselves.
+  void reset();
+
   /// Raw bucket count (tests and exporters).
   [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
     return buckets_[index].load(std::memory_order_relaxed);

@@ -1,0 +1,233 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphm::obs {
+
+const char* slo_state_name(SloState state) {
+  switch (state) {
+    case SloState::kHealthy: return "healthy";
+    case SloState::kWarning: return "warning";
+    case SloState::kCritical: return "critical";
+  }
+  return "?";
+}
+
+SloTracker::SloTracker(SloSpec spec)
+    : spec_(std::move(spec)),
+      window_(std::max<std::uint64_t>(1, spec_.window_ns),
+              std::max<std::size_t>(1, spec_.sub_windows)) {}
+
+void SloTracker::record(std::uint64_t now_ns, std::uint64_t latency_ns) {
+  window_.record(now_ns, latency_ns);
+}
+
+void SloTracker::record_violation(std::uint64_t now_ns) {
+  // First value of the bucket after the threshold's: threshold_ns + 1 could
+  // land in the threshold's own (good-by-contract) bucket, but the next
+  // bucket's lower bound is strictly past the threshold, so the sample is
+  // guaranteed to count bad while distorting the distribution by at most one
+  // bucket.
+  const std::size_t next = Histogram::bucket_index(spec_.threshold_ns) + 1;
+  const std::uint64_t v = next < Histogram::kNumBuckets
+                              ? Histogram::bucket_lower(next)
+                              : ~0ULL;
+  window_.record(now_ns, std::max<std::uint64_t>(1, v));
+}
+
+void SloTracker::set_capacity(double fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::clamp(fraction, 1e-3, 1.0);
+}
+
+double SloTracker::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::uint64_t SloTracker::good_count(const Histogram& h) const {
+  std::uint64_t good = 0;
+  for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (Histogram::bucket_lower(b) > spec_.threshold_ns) break;
+    good += h.bucket_count(b);
+  }
+  return good;
+}
+
+double SloTracker::burn(std::uint64_t good, std::uint64_t bad) const {
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double allowed = std::max(1e-9, 1.0 - spec_.target_quantile);
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / allowed / capacity_;
+}
+
+SloEval SloTracker::evaluate(std::uint64_t now_ns) {
+  // Both views merge at the same `now_ns`, so they see the same ring
+  // alignment (rotation happens inside the first call at the latest).
+  Histogram fast;
+  window_.merged(now_ns, 1, fast);
+  Histogram slow;
+  window_.merged(now_ns, window_.sub_windows(), slow);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  SloEval eval;
+  eval.good = good_count(slow);
+  eval.bad = slow.count() - eval.good;
+  const std::uint64_t fast_good = good_count(fast);
+  eval.fast_burn = burn(fast_good, fast.count() - fast_good);
+  eval.slow_burn = burn(eval.good, eval.bad);
+  const double allowed = std::max(1e-9, 1.0 - spec_.target_quantile);
+  const double budget =
+      allowed * static_cast<double>(eval.good + eval.bad);
+  eval.budget_remaining =
+      budget <= 0.0
+          ? 1.0
+          : std::clamp(1.0 - static_cast<double>(eval.bad) / budget, 0.0, 1.0);
+
+  switch (state_) {
+    case SloState::kHealthy:
+    case SloState::kWarning:
+      if (eval.fast_burn >= spec_.critical_burn &&
+          eval.slow_burn >= spec_.critical_burn) {
+        state_ = SloState::kCritical;
+      } else {
+        state_ = eval.slow_burn >= spec_.warn_burn ? SloState::kWarning
+                                                   : SloState::kHealthy;
+      }
+      break;
+    case SloState::kCritical:
+      // Hysteresis: stay latched until the fast window genuinely cools below
+      // reopen_burn — hovering at critical_burn cannot flap the signal.
+      if (eval.fast_burn < spec_.reopen_burn) {
+        state_ = eval.slow_burn >= spec_.warn_burn ? SloState::kWarning
+                                                   : SloState::kHealthy;
+      }
+      break;
+  }
+  eval.state = state_;
+  last_eval_ = eval;
+  last_window_.reset();
+  last_window_.merge(slow);
+  return eval;
+}
+
+SloEval SloTracker::last_eval() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_eval_;
+}
+
+void SloTracker::merge_last_window(Histogram& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.merge(last_window_);
+}
+
+SloMonitor::SloMonitor(std::vector<SloSpec> objectives)
+    : objectives_(std::move(objectives)) {}
+
+SloMonitor::Scoped& SloMonitor::scoped(std::string_view scope) {
+  // Caller holds mutex_.
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) {
+    Scoped s;
+    s.scope = std::string(scope);
+    s.trackers.reserve(objectives_.size());
+    for (const SloSpec& spec : objectives_) {
+      s.trackers.push_back(std::make_unique<SloTracker>(spec));
+      s.trackers.back()->set_capacity(capacity_);
+    }
+    it = scopes_.emplace(std::string(scope), std::move(s)).first;
+  }
+  return it->second;
+}
+
+void SloMonitor::observe(std::string_view scope, std::uint64_t now_ns,
+                         std::uint64_t latency_ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& tracker : scoped(scope).trackers) tracker->record(now_ns, latency_ns);
+}
+
+void SloMonitor::violation(std::string_view scope, std::uint64_t now_ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& tracker : scoped(scope).trackers) tracker->record_violation(now_ns);
+}
+
+void SloMonitor::count_shed(std::string_view scope) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& tracker : scoped(scope).trackers) tracker->count_shed();
+}
+
+void SloMonitor::set_capacity(double fraction) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::clamp(fraction, 1e-3, 1.0);
+  for (auto& [name, s] : scopes_) {
+    for (auto& tracker : s.trackers) tracker->set_capacity(capacity_);
+  }
+}
+
+SloState SloMonitor::evaluate(std::uint64_t now_ns) {
+  if (!enabled()) return SloState::kHealthy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SloState worst = SloState::kHealthy;
+  SloEval worst_eval;
+  for (auto& [name, s] : scopes_) {
+    for (auto& tracker : s.trackers) {
+      const SloEval eval = tracker->evaluate(now_ns);
+      if (static_cast<int>(eval.state) > static_cast<int>(worst) ||
+          (eval.state == worst && eval.fast_burn > worst_eval.fast_burn)) {
+        worst = eval.state;
+        worst_eval = eval;
+      }
+    }
+  }
+  state_ = worst;
+  worst_eval_ = worst_eval;
+  return worst;
+}
+
+SloState SloMonitor::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+SloEval SloMonitor::worst_eval() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worst_eval_;
+}
+
+std::uint64_t SloMonitor::total_sheds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : scopes_) {
+    for (const auto& tracker : s.trackers) total += tracker->sheds();
+  }
+  return total;
+}
+
+void SloMonitor::publish(Registry& registry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, s] : scopes_) {
+    for (const auto& tracker : s.trackers) {
+      std::string prefix = "graphm.slo." + tracker->spec().name;
+      if (!s.scope.empty()) prefix += "." + s.scope;
+      prefix += ".";
+      const SloEval eval = tracker->last_eval();
+      registry.set_gauge(prefix + "budget_remaining",
+                         std::llround(eval.budget_remaining * 1e6));
+      registry.set_gauge(prefix + "burn_rate", std::llround(eval.slow_burn * 1e3));
+      registry.set_gauge(prefix + "state", static_cast<std::int64_t>(eval.state));
+      registry.set_counter(prefix + "shed", tracker->sheds());
+      Histogram& latency = registry.histogram(prefix + "latency_ns");
+      latency.reset();
+      tracker->merge_last_window(latency);
+    }
+  }
+}
+
+}  // namespace graphm::obs

@@ -1,0 +1,179 @@
+// SLO tracking over the observability substrate: declarative latency
+// objectives, windowed error-budget accounting, and SRE-style multi-window
+// burn-rate evaluation producing the tri-state health signal the admission
+// layers act on (service::AdmissionPolicy::kAdaptive, docs/observability.md
+// "SLOs and error budgets").
+//
+// The math, in one place:
+//  * an objective "p<q> latency <= threshold over window W" allows a bad
+//    fraction of (1 - q): a sample is GOOD iff latency <= threshold_ns, and
+//    the error budget of a window is (1 - q) * total samples;
+//  * burn rate = (bad / total) / (1 - q), scaled by 1/capacity — the
+//    multiple of the sustainable error rate currently being spent. Burn 1.0
+//    exactly exhausts the budget at the window's edge; burn 2.0 exhausts it
+//    in half the window;
+//  * two windows vote (the SRE multi-window rule): the FAST window (one
+//    sub-window of the ring) must agree with the SLOW window (the full ring)
+//    before Critical latches — a brief spike can't trip it, and a long burn
+//    can't hide behind one quiet sub-window;
+//  * Critical exits hysteretically: only when the fast burn falls below
+//    reopen_burn (< critical_burn), so the signal cannot flap while burn
+//    hovers at the threshold (the no-flapping test pins this);
+//  * capacity in (0, 1] folds backend health into the detector: at half
+//    capacity every burn doubles, so a degraded cluster sheds earlier —
+//    before the queues collapse, which is the whole point.
+//
+// Samples land in obs::WindowedHistogram rings (both clock domains work: the
+// caller supplies timestamps), bad counts are read off the merged buckets
+// (within one bucket width of exact), and everything publishes back through
+// obs::Registry under graphm.slo.<objective>[.<scope>].{budget_remaining,
+// burn_rate,state,shed}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace graphm::obs {
+
+/// One declarative latency objective.
+struct SloSpec {
+  std::string name = "e2e";          // objective name (metric key component)
+  double target_quantile = 0.99;     // pXX that must meet threshold_ns; also
+                                     // fixes the budget: allowed bad
+                                     // fraction = 1 - target_quantile
+  std::uint64_t threshold_ns = 0;    // latency bound at that quantile
+  std::uint64_t window_ns = 60'000'000'000;  // slow window (full ring span)
+  std::size_t sub_windows = 6;       // ring slots; fast window = one slot
+  double warn_burn = 1.0;            // slow burn >= this -> Warning
+  double critical_burn = 2.0;        // fast AND slow burn >= this -> Critical
+  double reopen_burn = 0.5;          // Critical exits when fast burn < this
+};
+
+enum class SloState : int { kHealthy = 0, kWarning = 1, kCritical = 2 };
+
+const char* slo_state_name(SloState state);
+
+/// One evaluation of one objective at one instant.
+struct SloEval {
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  /// Fraction of the slow window's error budget left, clamped to [0, 1]
+  /// (1.0 when the window is empty).
+  double budget_remaining = 1.0;
+  std::uint64_t good = 0;  // slow-window samples within threshold
+  std::uint64_t bad = 0;   // slow-window samples over threshold
+  SloState state = SloState::kHealthy;
+};
+
+/// Tracks one objective for one scope (tenant/dataset). record() is cheap
+/// and mostly lock-free (WindowedHistogram fast path); evaluate() merges the
+/// ring (O(buckets)) and advances the hysteretic state machine.
+class SloTracker {
+ public:
+  explicit SloTracker(SloSpec spec);
+
+  const SloSpec& spec() const { return spec_; }
+
+  /// Records an observed latency; good iff latency_ns <= threshold_ns.
+  void record(std::uint64_t now_ns, std::uint64_t latency_ns);
+  /// Records an unconditional violation (deadline abort, failed request):
+  /// counted as a bad sample just past the threshold.
+  void record_violation(std::uint64_t now_ns);
+
+  /// Folds external capacity (live replicas / total, in (0, 1]) into the
+  /// burn: burn is divided by capacity, so degraded capacity trips earlier.
+  void set_capacity(double fraction);
+  [[nodiscard]] double capacity() const;
+
+  /// Recomputes both windows at `now_ns` and advances the state machine.
+  SloEval evaluate(std::uint64_t now_ns);
+  /// The most recent evaluate() result (identity eval before the first).
+  [[nodiscard]] SloEval last_eval() const;
+  /// Accumulates the slow-window distribution cached by the most recent
+  /// evaluate() into `out` (empty before the first evaluate()).
+  void merge_last_window(Histogram& out) const;
+
+  /// Shed accounting for the admission layer that acts on this tracker.
+  void count_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Samples at or under the threshold in `h` (the straddling bucket counts
+  /// as good — within one bucket width of exact, same contract as quantile).
+  [[nodiscard]] std::uint64_t good_count(const Histogram& h) const;
+  [[nodiscard]] double burn(std::uint64_t good, std::uint64_t bad) const;
+
+  const SloSpec spec_;
+  WindowedHistogram window_;
+  std::atomic<std::uint64_t> sheds_{0};
+
+  mutable std::mutex mutex_;  // state machine + cached eval + capacity
+  double capacity_ = 1.0;
+  SloState state_ = SloState::kHealthy;
+  SloEval last_eval_;
+  Histogram last_window_;  // slow window at the last evaluate()
+};
+
+/// A set of objectives tracked per scope (tenant/dataset), with one combined
+/// worst-of health signal for the admission layer and per-tracker publishing.
+/// Scopes materialize on first observation; with no objectives configured
+/// the monitor is inert (enabled() == false, every call cheap).
+class SloMonitor {
+ public:
+  SloMonitor() = default;
+  explicit SloMonitor(std::vector<SloSpec> objectives);
+
+  [[nodiscard]] bool enabled() const { return !objectives_.empty(); }
+
+  void observe(std::string_view scope, std::uint64_t now_ns, std::uint64_t latency_ns);
+  void violation(std::string_view scope, std::uint64_t now_ns);
+  void count_shed(std::string_view scope);
+  void set_capacity(double fraction);
+
+  /// Re-evaluates every tracker at `now_ns`; returns (and caches) the worst
+  /// state across objectives and scopes.
+  SloState evaluate(std::uint64_t now_ns);
+  /// Last evaluate() result (kHealthy before the first, or when disabled).
+  [[nodiscard]] SloState state() const;
+  /// The worst tracker's eval at the last evaluate() (burn detail for
+  /// traces; identity eval before the first).
+  [[nodiscard]] SloEval worst_eval() const;
+  [[nodiscard]] std::uint64_t total_sheds() const;
+
+  /// Publishes every tracker's cached eval under
+  /// `graphm.slo.<objective>.<scope>.{budget_remaining,burn_rate,state,shed}`
+  /// (no `.<scope>` component for the empty scope). Gauges are scaled:
+  /// budget_remaining in ppm of the window budget, burn_rate in milli-burns,
+  /// state 0/1/2. The slow-window latency distribution at the last
+  /// evaluate() publishes as the `latency_ns` histogram (replaced, not
+  /// accumulated, so repeated snapshots stay idempotent).
+  void publish(Registry& registry) const;
+
+ private:
+  struct Scoped {
+    std::string scope;
+    std::vector<std::unique_ptr<SloTracker>> trackers;  // one per objective
+  };
+
+  Scoped& scoped(std::string_view scope);
+
+  std::vector<SloSpec> objectives_;
+  mutable std::mutex mutex_;  // scopes_ growth + cached worst
+  std::map<std::string, Scoped, std::less<>> scopes_;
+  double capacity_ = 1.0;
+  SloState state_ = SloState::kHealthy;
+  SloEval worst_eval_;
+};
+
+}  // namespace graphm::obs

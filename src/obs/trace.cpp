@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace graphm::obs {
 
 namespace {
@@ -167,6 +169,20 @@ std::uint64_t Tracer::dropped() const {
   return total;
 }
 
+std::size_t Tracer::ring_count() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  return rings_.size();
+}
+
+std::uint64_t Tracer::approx_memory_bytes() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    total += static_cast<std::uint64_t>(ring.events.size()) * sizeof(TraceEvent);
+  }
+  return total;
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> registry_lock(registry_mutex_);
   for (Ring& ring : rings_) {
@@ -178,5 +194,13 @@ void Tracer::clear() {
 }
 
 const char* trace_env_path() { return std::getenv("GRAPHM_TRACE"); }
+
+void publish_tracer_metrics(Registry& registry, const Tracer& tracer) {
+  registry.set_counter("graphm.obs.tracer.dropped", tracer.dropped());
+  registry.set_gauge("graphm.obs.tracer.rings",
+                     static_cast<std::int64_t>(tracer.ring_count()));
+  registry.set_gauge("graphm.obs.tracer.bytes",
+                     static_cast<std::int64_t>(tracer.approx_memory_bytes()));
+}
 
 }  // namespace graphm::obs

@@ -89,6 +89,11 @@ class Tracer {
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   /// Events overwritten because a ring was full (flight-recorder drops).
   [[nodiscard]] std::uint64_t dropped() const;
+  /// Per-thread rings allocated so far (threads that recorded at least once).
+  [[nodiscard]] std::size_t ring_count() const;
+  /// Event storage retained across all rings — fixed per ring (capacity ×
+  /// sizeof(TraceEvent)), so this is the recorder's bounded-memory witness.
+  [[nodiscard]] std::uint64_t approx_memory_bytes() const;
   /// Forgets every recorded event (track interning is kept).
   void clear();
 
@@ -154,5 +159,12 @@ class Span {
 /// Returns nullptr when unset. The check is one getenv per call — callers
 /// cache it.
 const char* trace_env_path();
+
+class Registry;  // metrics.hpp
+
+/// Publishes the tracer's own health into `registry`:
+/// graphm.obs.tracer.{dropped,rings,bytes} — the flight recorder reporting
+/// on itself (drops mean the ring capacity is too small for the workload).
+void publish_tracer_metrics(Registry& registry, const Tracer& tracer);
 
 }  // namespace graphm::obs

@@ -1,0 +1,72 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+namespace graphm::obs {
+
+WindowedHistogram::WindowedHistogram(std::uint64_t span_ns, std::size_t sub_windows)
+    : sub_span_ns_(std::max<std::uint64_t>(
+          1, (span_ns + std::max<std::size_t>(1, sub_windows) - 1) /
+                 std::max<std::size_t>(1, sub_windows))),
+      slots_(std::max<std::size_t>(1, sub_windows)) {}
+
+void WindowedHistogram::advance_locked(std::uint64_t slot) {
+  const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
+  if (slot <= current) return;
+  // Every slot strictly between current and the new slot expired; resetting
+  // is capped at the ring size (a long quiet period clears the whole ring
+  // once, not once per elapsed sub-span).
+  const std::uint64_t steps = std::min<std::uint64_t>(slot - current, slots_.size());
+  for (std::uint64_t i = 1; i <= steps; ++i) {
+    slots_[(current + i) % slots_.size()].reset();
+  }
+  current_slot_.store(slot, std::memory_order_relaxed);
+}
+
+void WindowedHistogram::record(std::uint64_t now_ns, std::uint64_t v) {
+  const std::uint64_t slot = now_ns / sub_span_ns_;
+  // Fast path: the sample lands in the slot that is already current — one
+  // relaxed load, then a lock-free Histogram::record. A concurrent rotation
+  // past this slot can at worst smear one sample into a resetting slot,
+  // which the monitoring contract tolerates (timestamps are near-monotone).
+  if (slot == current_slot_.load(std::memory_order_relaxed)) {
+    slots_[slot % slots_.size()].record(v);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
+  if (slot > current) {
+    advance_locked(slot);
+  } else if (current - slot >= slots_.size()) {
+    // Older than the whole retained window: smearing it into a live slot
+    // would corrupt a future sub-span, so drop and count.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[slot % slots_.size()].record(v);
+}
+
+void WindowedHistogram::merged(std::uint64_t now_ns, std::size_t sub_count,
+                               Histogram& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(now_ns / sub_span_ns_);
+  const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
+  const std::size_t k = std::clamp<std::size_t>(sub_count, 1, slots_.size());
+  for (std::size_t i = 0; i < k && i <= current; ++i) {
+    out.merge(slots_[(current - i) % slots_.size()]);
+  }
+}
+
+std::uint64_t WindowedHistogram::count(std::uint64_t now_ns, std::size_t sub_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_locked(now_ns / sub_span_ns_);
+  const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
+  const std::size_t k = std::clamp<std::size_t>(sub_count, 1, slots_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < k && i <= current; ++i) {
+    total += slots_[(current - i) % slots_.size()].count();
+  }
+  return total;
+}
+
+}  // namespace graphm::obs

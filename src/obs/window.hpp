@@ -1,0 +1,80 @@
+// Sliding-window histograms for the observability substrate: a ring of the
+// existing log-bucketed obs::Histogram sub-windows over a time axis the
+// caller supplies (live tracer clock or simulated DES clock — the window
+// itself never reads a clock, which is what keeps it usable on both).
+//
+// Layout: the window spans `sub_windows` sub-spans of `sub_span_ns` each.
+// Time t lands in absolute slot t / sub_span_ns; the ring holds the
+// `sub_windows` most recent slots. Advancing to a new slot resets the
+// histograms that fell out of the window — O(buckets) per expired slot, not
+// O(samples) — and querying merges the k most recent slots bucket-wise into
+// a caller-provided scratch histogram. Merging is associative and
+// commutative by construction (it is the Histogram::merge the merge tests
+// pin), so a windowed quantile is within one bucket width (~3.1%) of the
+// exact nearest-rank statistic over the retained samples.
+//
+// Concurrency: record() is lock-free on the common path (the sample's slot
+// is the current one: one relaxed load + a Histogram::record). Rotation and
+// cross-slot merges serialize on one mutex; a recorder that observes a stale
+// slot takes that mutex to rotate first. Timestamps are expected to be
+// near-monotone; a sample older than the retained window is dropped (and
+// counted) rather than smeared into the wrong slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace graphm::obs {
+
+class WindowedHistogram {
+ public:
+  /// `span_ns` is the full (slow) window; it is cut into `sub_windows` equal
+  /// sub-spans (>= 1; span is rounded up to a multiple of sub_windows).
+  WindowedHistogram(std::uint64_t span_ns, std::size_t sub_windows);
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  [[nodiscard]] std::uint64_t sub_span_ns() const { return sub_span_ns_; }
+  [[nodiscard]] std::size_t sub_windows() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t span_ns() const {
+    return sub_span_ns_ * slots_.size();
+  }
+
+  /// Records `v` at time `now_ns`, rotating expired sub-windows first.
+  /// Samples older than the retained window are dropped (see dropped()).
+  void record(std::uint64_t now_ns, std::uint64_t v);
+
+  /// Bucket-wise merge of the `sub_count` most recent sub-windows (clamped
+  /// to sub_windows(); the current, still-filling slot counts as one) into
+  /// `out`, after rotating to `now_ns`. `out` is not reset first — pass a
+  /// fresh or explicitly reset() scratch histogram.
+  void merged(std::uint64_t now_ns, std::size_t sub_count, Histogram& out);
+
+  /// Total samples retained in the `sub_count` most recent sub-windows.
+  [[nodiscard]] std::uint64_t count(std::uint64_t now_ns, std::size_t sub_count);
+
+  /// Samples dropped because their timestamp predated the retained window.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Rotates so that `slot` is current, resetting every slot that expired.
+  /// Caller holds mutex_.
+  void advance_locked(std::uint64_t slot);
+
+  const std::uint64_t sub_span_ns_;
+  std::vector<Histogram> slots_;  // slot s of absolute index i: i % size
+  /// Absolute index of the newest (current) slot. Relaxed fast-path check;
+  /// transitions happen under mutex_.
+  std::atomic<std::uint64_t> current_slot_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;  // rotation + merges
+};
+
+}  // namespace graphm::obs

@@ -10,6 +10,7 @@ const char* admission_policy_name(AdmissionPolicy policy) {
     case AdmissionPolicy::kImmediate: return "immediate";
     case AdmissionPolicy::kBatchUntilK: return "batch-until-k";
     case AdmissionPolicy::kDeadline: return "deadline-edf";
+    case AdmissionPolicy::kAdaptive: return "adaptive-slo";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ const char* outcome_name(Outcome outcome) {
     case Outcome::kDeadlineAborted: return "deadline-aborted";
     case Outcome::kFailoverShed: return "failover-shed";
     case Outcome::kUnroutable: return "unroutable";
+    case Outcome::kSloShed: return "slo-shed";
   }
   return "?";
 }
@@ -49,7 +51,7 @@ bool AdmissionQueue::push(JobRecordPtr job, std::uint64_t now_ns) {
 }
 
 JobRecordPtr AdmissionQueue::take_locked() {
-  if (config_.policy == AdmissionPolicy::kDeadline) {
+  if (policy_uses_edf(config_.policy)) {
     // EDF: tightest deadline first; deadline-less jobs (the kNoDeadline
     // sentinel, mapped to +inf by the shared key) last; FIFO (queue order)
     // among equals.

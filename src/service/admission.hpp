@@ -14,6 +14,15 @@
 //  * kDeadline     — earliest-deadline-first dispatch order (SLO-aware
 //                    grouping): among queued jobs the tightest deadline runs
 //                    next; deadline-less jobs sort last, FIFO among equals.
+//  * kAdaptive     — kDeadline's EDF order, plus closed-loop shedding driven
+//                    by the obs::SloMonitor burn-rate signal: while an
+//                    objective is Critical, the lowest-priority work
+//                    (deadline-less jobs, and over-quota arrivals) is shed
+//                    instead of queued, and admission re-opens hysteretically
+//                    when the burn cools (docs/observability.md, "SLOs and
+//                    error budgets"). The queue itself only provides the
+//                    ordering — the shedding decisions live in the services,
+//                    which own the monitor.
 //
 // Backpressure: the queue is bounded (max_depth); submissions beyond it are
 // rejected at submit() so an overloaded service sheds load at the edge
@@ -36,7 +45,17 @@
 
 namespace graphm::service {
 
-enum class AdmissionPolicy : int { kImmediate = 0, kBatchUntilK = 1, kDeadline = 2 };
+enum class AdmissionPolicy : int {
+  kImmediate = 0,
+  kBatchUntilK = 1,
+  kDeadline = 2,
+  kAdaptive = 3,
+};
+
+/// Policies that dispatch in EDF order (share edf_deadline_key).
+[[nodiscard]] constexpr bool policy_uses_edf(AdmissionPolicy policy) {
+  return policy == AdmissionPolicy::kDeadline || policy == AdmissionPolicy::kAdaptive;
+}
 
 const char* admission_policy_name(AdmissionPolicy policy);
 
@@ -44,7 +63,7 @@ const char* admission_policy_name(AdmissionPolicy policy);
 /// service and the simulated cluster both account in. Every submission lands
 /// in exactly ONE of these (the conservation law the fault tests pin):
 /// submitted == completed + rejected + deadline_shed + deadline_aborted +
-/// failover_shed + unroutable.
+/// failover_shed + unroutable + slo_shed.
 enum class Outcome : int {
   kCompleted = 0,        // ran to its final barrier
   kRejected = 1,         // backpressure at admission (queue full)
@@ -52,6 +71,7 @@ enum class Outcome : int {
   kDeadlineAborted = 3,  // started, aborted at a superstep past its deadline
   kFailoverShed = 4,     // every replica down or the retry budget ran out
   kUnroutable = 5,       // no backend serves the requested dataset
+  kSloShed = 6,          // adaptive admission shed it while burn was Critical
 };
 
 const char* outcome_name(Outcome outcome);

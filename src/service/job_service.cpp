@@ -34,7 +34,8 @@ JobService::JobService(std::vector<DatasetSpec> datasets, ServiceConfig config)
       platform_(config_.platform),
       queue_({config_.policy, config_.max_queue_depth, config_.batch_k,
               config_.batch_max_wait_ns}),
-      groups_(datasets.size()) {
+      groups_(datasets.size()),
+      slo_(config_.objectives) {
   // Open-loop sharing needs mid-stream attach: a job dispatched while the
   // group streams must join the resident partition, not wait a full round.
   config_.graphm.allow_mid_round_attach = true;
@@ -83,11 +84,28 @@ JobHandle JobService::submit(const algos::JobSpec& spec, std::uint64_t deadline_
   record->outcome.modeled_cores = config_.modeled_cores;
   record->outcome.arrival_ns = now_ns();
 
+  // Closed-loop shedding (kAdaptive): while the burn-rate signal is
+  // Critical, deadline-less arrivals (lowest priority — they can never miss)
+  // shed outright, and deadlined arrivals shed once the queue is over quota.
+  // Admitting re-opens on its own when the fast window cools below
+  // reopen_burn (the monitor's hysteresis) — no separate open/close state.
+  bool slo_shed = false;
+  if (config_.policy == AdmissionPolicy::kAdaptive && slo_.enabled() &&
+      dataset < datasets_.size()) {
+    if (slo_.evaluate(record->outcome.arrival_ns) == obs::SloState::kCritical) {
+      const std::size_t quota = config_.adaptive_queue_quota != 0
+                                    ? config_.adaptive_queue_quota
+                                    : std::max<std::size_t>(1, config_.workers);
+      slo_shed = deadline_ns == kNoDeadline || queue_.depth() >= quota;
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
     ++unfinished_;
   }
-  if (dataset >= datasets_.size() || shut_down_.load(std::memory_order_acquire) ||
+  if (slo_shed || dataset >= datasets_.size() ||
+      shut_down_.load(std::memory_order_acquire) ||
       !queue_.push(record, record->outcome.arrival_ns)) {
     {
       std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -99,7 +117,15 @@ JobHandle JobService::submit(const algos::JobSpec& spec, std::uint64_t deadline_
     record->state.store(JobState::kRejected, std::memory_order_release);
     record->cv.notify_all();
     obs::Tracer& tracer = obs::Tracer::global();
-    if (tracer.enabled()) {
+    if (slo_shed) {
+      // Client-visible as a rejection; accounted separately under
+      // graphm.slo.<objective>.<dataset>.shed.
+      slo_.count_shed(datasets_[dataset].name);
+      if (tracer.enabled()) {
+        tracer.instant(tracer.track("slo"), "slo shed", tracer.now_ns(), record->job_id,
+                       static_cast<std::uint64_t>(slo_.worst_eval().fast_burn * 1e3));
+      }
+    } else if (tracer.enabled()) {
       tracer.instant(tracer.track("admission"), "reject", tracer.now_ns(), record->job_id);
     }
     return JobHandle(record);
@@ -212,6 +238,20 @@ void JobService::finish(const JobRecordPtr& job, JobState terminal, bool started
                        terminal == JobState::kCancelled, job->missed_deadline, now_ns(),
                        groups_.running_total());
 
+  if (slo_.enabled()) {
+    // Completions feed the window with their e2e latency (late completions
+    // land over the threshold on their own); cancellations — shed at
+    // dispatch or aborted mid-run — are unconditional violations.
+    const std::uint64_t now = now_ns();
+    if (terminal == JobState::kDone) {
+      slo_.observe(dataset.name, now,
+                   job->outcome.completion_ns - job->outcome.arrival_ns);
+    } else {
+      slo_.violation(dataset.name, now);
+    }
+    evaluate_slo(now);
+  }
+
   {
     std::lock_guard<std::mutex> lock(job->mutex);
     job->state.store(terminal, std::memory_order_release);
@@ -222,6 +262,19 @@ void JobService::finish(const JobRecordPtr& job, JobState terminal, bool started
     --unfinished_;
   }
   idle_cv_.notify_all();
+}
+
+void JobService::evaluate_slo(std::uint64_t now) {
+  const obs::SloState before = slo_.state();
+  const obs::SloState after = slo_.evaluate(now);
+  if (after == before) return;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // The detector firing renders next to the latency spans that caused it.
+    const std::string name = std::string("slo ") + obs::slo_state_name(after);
+    tracer.instant(tracer.track("slo"), name, tracer.now_ns(), 0,
+                   static_cast<std::uint64_t>(slo_.worst_eval().fast_burn * 1e3));
+  }
 }
 
 void JobService::drain() {
@@ -292,6 +345,11 @@ void JobService::publish_metrics(obs::Registry& registry) const {
   registry.set_counter("graphm.sim.page_cache.virtual_io_ns", io.virtual_io_ns);
   registry.set_gauge("graphm.sim.memory.peak_bytes",
                      static_cast<std::int64_t>(platform_.memory().peak_total()));
+
+  // SLO accounting (when objectives are configured) and the flight
+  // recorder's own health — the observers observe themselves.
+  slo_.publish(registry);
+  obs::publish_tracer_metrics(registry, obs::Tracer::global());
 }
 
 std::string JobService::metrics_json() const {

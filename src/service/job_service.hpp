@@ -33,6 +33,7 @@
 #include "graphm/graphm.hpp"
 #include "grid/stream_engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "service/admission.hpp"
 #include "service/group_manager.hpp"
 #include "service/service_stats.hpp"
@@ -59,6 +60,16 @@ struct ServiceConfig {
   /// deadlines only feed EDF ordering and the deadline-miss counter.
   bool cancel_past_deadline = false;
   bool record_results = false;  // keep final vertex values in the record
+  /// SLO objectives tracked by the service's obs::SloMonitor, scoped per
+  /// dataset. Tracking is on whenever non-empty; AdmissionPolicy::kAdaptive
+  /// additionally acts on the signal (docs/observability.md, "SLOs and error
+  /// budgets"): while an objective is Critical, deadline-less arrivals are
+  /// shed outright and deadlined arrivals are shed once the queue is over
+  /// quota, until the burn cools below SloSpec::reopen_burn.
+  std::vector<obs::SloSpec> objectives;
+  /// kAdaptive only: queue depth above which even deadlined arrivals shed
+  /// while Critical. 0 = the worker count (one dispatch round of backlog).
+  std::size_t adaptive_queue_quota = 0;
   core::GraphMOptions graphm;   // allow_mid_round_attach forced on in kShared
   grid::StreamConfig stream;
   sim::PlatformConfig platform;
@@ -133,6 +144,10 @@ class JobService {
   [[nodiscard]] std::uint64_t now_ns() const { return clock_.elapsed_ns(); }
   [[nodiscard]] std::size_t num_datasets() const { return datasets_.size(); }
   [[nodiscard]] sim::Platform& platform() { return platform_; }
+  /// The service's SLO monitor (inert when ServiceConfig::objectives is
+  /// empty). Exposed for tests and dashboards; the service itself evaluates
+  /// it at submit and finish.
+  [[nodiscard]] obs::SloMonitor& slo_monitor() const { return slo_; }
 
  private:
   struct Dataset {
@@ -146,6 +161,9 @@ class JobService {
   void worker_loop(std::size_t worker_index);
   void execute(const JobRecordPtr& job);
   void finish(const JobRecordPtr& job, JobState terminal, bool started);
+  /// Re-evaluates the monitor at `now` and emits a trace instant on the
+  /// "slo" track when the tri-state signal changed.
+  void evaluate_slo(std::uint64_t now);
 
   ServiceConfig config_;
   sim::Platform platform_;  // one simulated host serves every dataset
@@ -154,6 +172,9 @@ class JobService {
   AdmissionQueue queue_;
   GroupManager groups_;
   StatsCollector collector_;
+  /// Burn-rate tracking per dataset; mutable because publishing reads cached
+  /// evals from const snapshots (internally synchronized).
+  mutable obs::SloMonitor slo_;
 
   std::vector<std::thread> workers_;
   std::atomic<bool> shut_down_{false};

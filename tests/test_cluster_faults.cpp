@@ -194,7 +194,8 @@ TEST(Conservation, EverySubmissionLandsInExactlyOneOutcomeUnderAStorm) {
   for (const auto outcome :
        {service::Outcome::kCompleted, service::Outcome::kRejected,
         service::Outcome::kDeadlineShed, service::Outcome::kDeadlineAborted,
-        service::Outcome::kFailoverShed, service::Outcome::kUnroutable}) {
+        service::Outcome::kFailoverShed, service::Outcome::kUnroutable,
+        service::Outcome::kSloShed}) {
     sum += count_outcome(reports, outcome);
   }
   EXPECT_EQ(sum, submissions.size()) << "conservation law violated";

@@ -309,7 +309,7 @@ TEST(TraceExport, WritesWellFormedChromeJson) {
 // ---------------------------------------------------------------------------
 
 TEST(DesTrace, TraceCodeNamesAreExhaustive) {
-  for (int code = 1; code <= 14; ++code) {
+  for (int code = 1; code <= 16; ++code) {
     EXPECT_STRNE(cluster::trace_code_name(static_cast<cluster::TraceCode>(code)), "?")
         << "TraceCode " << code << " has no name — update trace_code_name and the "
         << "cluster/trace_export.cpp converter together";

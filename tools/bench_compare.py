@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare BENCH_*.json against bench/baselines/.
+
+Each bench binary emits a BENCH_<name>.json; the committed baselines under
+bench/baselines/ hold the blessed smoke-scale numbers (CI runs every bench in
+smoke mode, so baselines are smoke-scale too). For every current file that has
+a baseline of the same filename, the headline metrics registered below are
+compared direction-aware: a metric whose direction is "higher" regresses when
+it drops, "lower" when it rises. Any regression worse than the threshold
+(default 15%) fails the run; everything is printed as a trajectory table
+either way.
+
+Only deterministic headline metrics are gated — the DES benches replay
+bit-identically, and service_slo's modeled_* numbers come from the cost model
+rather than the wall clock. Wall-clock benches (bench_micro) are deliberately
+not baselined: a shared CI runner cannot hold a 15% bar on real time.
+
+Boolean invariants (shape_pass, conserved, deterministic) are gated exactly:
+a baseline of true must stay true.
+
+Usage:
+  bench_compare.py [--baselines DIR] [--threshold PCT] BENCH_a.json ...
+  bench_compare.py --update BENCH_a.json ...   # bless current as baseline
+
+Exits 0 when nothing regressed, 1 on regression or missing/invalid input.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# bench-name -> list of (dotted path, direction). A "*" segment fans out over
+# every key at that level; missing paths are an error when the baseline has
+# them (a headline metric disappearing IS a regression of the bench contract).
+HEADLINE = {
+    "slo_guard": [
+        ("goodput_adaptive_storm", "higher"),
+        ("p99_adaptive_storm_ms", "lower"),
+        ("shape_pass", "true"),
+    ],
+    "cluster_faults": [
+        ("fault_free.e2e.p99_ms", "lower"),
+        ("storm.e2e.p99_ms", "lower"),
+        ("p99_degradation", "lower"),
+        ("storm.completed", "higher"),
+        ("conserved", "true"),
+        ("deterministic", "true"),
+    ],
+    "cluster_des": [
+        ("lambda_sweep.*.*.shared.jobs_per_s", "higher"),
+        ("lambda_sweep.*.*.shared.p99_ms", "lower"),
+    ],
+    "service_slo": [
+        ("lambda_sweep.*.service.modeled_throughput_jobs_per_s", "higher"),
+        ("lambda_sweep.*.service.modeled_p99_ms", "lower"),
+    ],
+}
+
+
+def walk(doc, path):
+    """Yield (concrete_path, value) for a dotted path with '*' wildcards."""
+    parts = path.split(".")
+
+    def rec(node, idx, trail):
+        if idx == len(parts):
+            yield ".".join(trail), node
+            return
+        part = parts[idx]
+        if part == "*":
+            if isinstance(node, dict):
+                for key in sorted(node):
+                    yield from rec(node[key], idx + 1, trail + [key])
+        elif isinstance(node, dict) and part in node:
+            yield from rec(node[part], idx + 1, trail + [part])
+
+    yield from rec(doc, 0, [])
+
+
+def compare_file(current_path, baseline_path, threshold):
+    """Return (rows, failures) for one bench file."""
+    with open(current_path, encoding="utf-8") as f:
+        current = json.load(f)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    bench = baseline.get("bench")
+    rows, failures = [], []
+    if current.get("bench") != bench:
+        failures.append(
+            f"{current_path}: bench {current.get('bench')!r} does not match "
+            f"baseline {bench!r}"
+        )
+        return rows, failures
+    metrics = HEADLINE.get(bench)
+    if metrics is None:
+        rows.append((f"{bench}: (no headline metrics registered)", "", "", "", "skip"))
+        return rows, failures
+
+    for path, direction in metrics:
+        base_vals = dict(walk(baseline, path))
+        cur_vals = dict(walk(current, path))
+        if not base_vals:
+            rows.append((f"{bench}.{path}", "-", "-", "", "no baseline"))
+            continue
+        for concrete, base in sorted(base_vals.items()):
+            label = f"{bench}.{concrete}"
+            if concrete not in cur_vals:
+                failures.append(f"{label}: headline metric missing from current run")
+                rows.append((label, fmt(base), "missing", "", "FAIL"))
+                continue
+            cur = cur_vals[concrete]
+            if direction == "true":
+                ok = (cur is True) or (base is not True)
+                rows.append((label, str(base), str(cur), "", "ok" if ok else "FAIL"))
+                if not ok:
+                    failures.append(f"{label}: was {base}, now {cur}")
+                continue
+            if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+                failures.append(f"{label}: non-numeric ({base!r} -> {cur!r})")
+                continue
+            if base == 0:
+                delta = 0.0 if cur == 0 else float("inf")
+            else:
+                delta = (cur - base) / abs(base)
+            regressed = delta < -threshold if direction == "higher" else delta > threshold
+            status = "FAIL" if regressed else "ok"
+            rows.append((label, fmt(base), fmt(cur), f"{delta * 100:+.1f}%", status))
+            if regressed:
+                failures.append(
+                    f"{label}: {fmt(base)} -> {fmt(cur)} ({delta * 100:+.1f}%, "
+                    f"{direction} is better, threshold {threshold * 100:.0f}%)"
+                )
+    return rows, failures
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def print_table(rows):
+    headers = ("metric", "baseline", "current", "delta", "status")
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(5)
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(r[i].ljust(widths[i]) for i in range(5)))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="current BENCH_*.json files")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "..", "bench", "baselines"),
+    )
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression threshold in percent (default 15)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current files over the baselines and exit")
+    args = parser.parse_args(argv[1:])
+    threshold = args.threshold / 100.0
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        for path in args.files:
+            dest = os.path.join(args.baselines, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"blessed {path} -> {dest}")
+        return 0
+
+    all_rows, all_failures = [], []
+    for path in args.files:
+        baseline_path = os.path.join(args.baselines, os.path.basename(path))
+        if not os.path.exists(path):
+            all_failures.append(f"{path}: missing current bench output")
+            continue
+        if not os.path.exists(baseline_path):
+            all_rows.append((os.path.basename(path), "-", "-", "", "no baseline"))
+            continue
+        try:
+            rows, failures = compare_file(path, baseline_path, threshold)
+        except (json.JSONDecodeError, OSError) as e:
+            all_failures.append(f"{path}: unreadable ({e})")
+            continue
+        all_rows.extend(rows)
+        all_failures.extend(failures)
+
+    if all_rows:
+        print_table(all_rows)
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) past "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for f in all_failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions past {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,14 +16,31 @@ Perfetto / chrome://tracing actually require to render a timeline:
     lie fully inside the span on top of the stack or start at-or-after its
     end — partial overlap means the exporter produced a malformed timeline.
 
+Also validates metrics snapshots (the <path>.metrics.json the benches write
+next to their traces, or any *.metrics.json passed directly):
+
+  * top level holds "counters", "gauges" and "histograms" objects;
+  * every instrument name is dotted lower-case under the graphm. namespace;
+  * counters are non-negative integers, gauges are integers;
+  * every histogram carries numeric count/mean/p50/p95/p99/max with
+    non-negative count and monotone quantiles (p50 <= p95 <= p99 <= ~max).
+
+A sibling <trace>.metrics.json is picked up automatically when present.
+
 Exits 0 and prints a one-line summary on success; prints every violation and
 exits 1 otherwise. Usage: validate_trace.py TRACE.json [TRACE2.json ...]
 """
 
 import json
+import os
+import re
 import sys
 
 ALLOWED_PHASES = {"X", "i", "b", "e", "M"}
+
+# Segments are lower-case; scope segments carry dataset names, which may
+# contain dashes (e.g. graphm.slo.e2e.rmat-4k.state).
+METRIC_NAME = re.compile(r"^graphm(\.[a-z0-9_-]+)+$")
 
 # Live spans are stamped on a nanosecond clock and exported at microsecond
 # resolution with three decimals; allow half an exported tick of slop before
@@ -131,21 +148,96 @@ def validate(path):
     return errors
 
 
+def validate_metrics(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            err(f'missing or non-object "{section}"')
+    if errors:
+        return errors
+
+    names = []
+    for section in ("counters", "gauges", "histograms"):
+        names.extend(doc[section])
+    if not names:
+        err("snapshot is empty (no instruments in any section)")
+    for name in names:
+        if not METRIC_NAME.match(name):
+            err(f"instrument {name!r} outside the graphm. dotted namespace")
+
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            err(f"counter {name!r}: not a non-negative integer ({v!r})")
+    for name, v in doc["gauges"].items():
+        if not isinstance(v, int) or isinstance(v, bool):
+            err(f"gauge {name!r}: not an integer ({v!r})")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict):
+            err(f"histogram {name!r}: not an object")
+            continue
+        bad_field = False
+        for field in ("count", "mean", "p50", "p95", "p99", "max"):
+            if not isinstance(h.get(field), (int, float)) or isinstance(
+                h.get(field), bool
+            ):
+                err(f"histogram {name!r}: missing/non-numeric {field!r}")
+                bad_field = True
+        if bad_field:
+            continue
+        if h["count"] < 0:
+            err(f"histogram {name!r}: negative count")
+        if not (h["p50"] <= h["p95"] <= h["p99"]):
+            err(
+                f"histogram {name!r}: quantiles not monotone "
+                f"(p50={h['p50']}, p95={h['p95']}, p99={h['p99']})"
+            )
+        # Quantiles are bucket midpoints, so p99 may sit up to half a bucket
+        # (~3.1% relative width) past the exact max.
+        if h["count"] > 0 and h["p99"] > h["max"] * 1.04:
+            err(f"histogram {name!r}: p99 {h['p99']} past max {h['max']}")
+
+    return errors
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip().splitlines()[-1], file=sys.stderr)
         return 2
     failed = False
     for path in argv[1:]:
-        errors = validate(path)
-        if errors:
-            failed = True
-            for e in errors:
-                print(e, file=sys.stderr)
+        if path.endswith(".metrics.json"):
+            checks = [(path, validate_metrics, "instruments")]
         else:
-            with open(path, "r", encoding="utf-8") as f:
-                n = len(json.load(f)["traceEvents"])
-            print(f"{path}: OK ({n} events)")
+            checks = [(path, validate, "events")]
+            sibling = path + ".metrics.json"
+            if os.path.exists(sibling):
+                checks.append((sibling, validate_metrics, "instruments"))
+        for check_path, check, unit in checks:
+            errors = check(check_path)
+            if errors:
+                failed = True
+                for e in errors:
+                    print(e, file=sys.stderr)
+                continue
+            with open(check_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            if unit == "events":
+                n = len(doc["traceEvents"])
+            else:
+                n = sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+            print(f"{check_path}: OK ({n} {unit})")
     return 1 if failed else 0
 
 
