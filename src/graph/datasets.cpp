@@ -9,6 +9,7 @@
 
 #include "graph/generators.hpp"
 #include "util/logging.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::graph {
 
@@ -53,7 +54,7 @@ double env_scale() {
 
 namespace {
 
-std::mutex g_generate_mutex;
+graphm::Mutex g_generate_mutex;
 
 std::string cache_file(const std::string& name, double scale) {
   char buf[64];
@@ -84,7 +85,7 @@ EdgeList generate(const DatasetSpec& spec, double scale) {
 std::string dataset_path(const std::string& name, double scale) {
   const DatasetSpec& spec = dataset_spec(name);
   const std::string path = cache_file(name, scale);
-  std::lock_guard<std::mutex> lock(g_generate_mutex);
+  graphm::MutexLock lock(g_generate_mutex);
   if (!fs::exists(path)) {
     GRAPHM_INFO("generating dataset " << name << " at scale " << scale);
     generate(spec, scale).save(path);

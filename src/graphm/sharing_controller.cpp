@@ -53,7 +53,7 @@ void SharingController::trace_event(const char* name, JobId job, std::uint64_t d
 }
 
 void SharingController::register_job(JobId job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   jobs_[job].version = version_counter_;
 }
 
@@ -90,7 +90,7 @@ void SharingController::detach_from_round_locked(JobId job) {
 }
 
 void SharingController::job_finished(JobId job) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_event("job_finished", job, 0, "[sc] job_finished job=%u\n", job);
   detach_from_round_locked(job);
   // Drop the job's private mutation copies ("the copied chunks will be
@@ -112,7 +112,7 @@ void SharingController::job_finished(JobId job) {
 }
 
 void SharingController::register_iteration(JobId job, const std::vector<PartitionId>& partitions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_event("reg_iter", job, partitions.size(), "[sc] reg_iter job=%u n=%zu\n", job,
               partitions.size());
   JobState& state = jobs_[job];
@@ -169,7 +169,7 @@ void SharingController::advance_locked() {
 }
 
 std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool suspended = false;
   for (;;) {
     JobState& state = jobs_.at(job);
@@ -215,7 +215,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
     trace_event("suspend", job, state.needs.size(),
                 "[sc] suspend job=%u cur=%lld needs=%zu\n", job, (long long)current_pid_,
                 state.needs.size());
-    round_cv_.wait(lock);
+    lock.wait(round_cv_);
   }
 
   const auto pid = static_cast<PartitionId>(current_pid_);
@@ -224,10 +224,16 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
   if (!buffer_loaded_) {
     if (!buffer_loading_) {
       // First arrival: CreateMemory + Load (Algorithm 2 lines 9-10).
+      // The disk read happens outside the mutex; the buffer is moved out and
+      // back so no guarded member is touched unlocked (buffer_loading_ keeps
+      // every other job off it, and the heap storage — the address the LLC
+      // sim sees — is reused move-for-move).
       buffer_loading_ = true;
+      std::vector<graph::Edge> loading = std::move(shared_buffer_);
       lock.unlock();
-      store_.read_partition(pid, shared_buffer_, platform_, job);
+      store_.read_partition(pid, loading, platform_, job);
       lock.lock();
+      shared_buffer_ = std::move(loading);
       buffer_tracking_ = sim::TrackedAllocation(&platform_.memory(),
                                                 sim::MemoryCategory::kGraphStructure,
                                                 shared_buffer_.size() * sizeof(graph::Edge));
@@ -237,7 +243,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
       trace_event("load", job, pid, "[sc] load job=%u pid=%u\n", job, pid);
       round_cv_.notify_all();
     } else {
-      round_cv_.wait(lock, [this] { return buffer_loaded_; });
+      while (!buffer_loaded_) lock.wait(round_cv_);
       ++stats_.attaches;  // Attach (Algorithm 2 line 12)
     }
   } else {
@@ -249,7 +255,7 @@ std::optional<grid::PartitionView> SharingController::acquire_next(JobId job) {
 }
 
 void SharingController::release(JobId job, PartitionId pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   trace_event("release", job, pid, "[sc] release job=%u pid=%u unrel_left=%zu\n", job, pid,
               current_unreleased_.size() - (current_unreleased_.count(job) ? 1 : 0));
   current_unreleased_.erase(job);
@@ -272,22 +278,22 @@ void SharingController::begin_chunk(JobId job, PartitionId pid, std::uint32_t ch
   // lock-step with — skip the mutex entirely so the single job streams its
   // chunks back to back at full block-batched speed.
   if (solo_round_.load(std::memory_order_acquire)) return;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Late mid-round attachers are not barrier members: they free-run over the
   // resident buffer instead of pacing (or corrupting) the lock-step group.
   if (barrier_members_.count(job) == 0) return;
   trace_event("begin_chunk_wait", job, chunk_id, "[sc] begin_chunk_wait job=%u pid=%u c=%u bc=%u\n",
               job, pid, chunk_id, barrier_chunk_);
-  barrier_cv_.wait(lock, [this, pid, chunk_id] {
-    return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ >= chunk_id;
-  });
+  while (static_cast<std::int64_t>(pid) == current_pid_ && barrier_chunk_ < chunk_id) {
+    lock.wait(barrier_cv_);
+  }
 }
 
 void SharingController::end_chunk(JobId job, PartitionId pid, std::uint32_t chunk_id) {
   if (!options_.fine_grained_sync) return;
   // Solo rounds complete no barrier (and charge no modeled barrier wakeups).
   if (solo_round_.load(std::memory_order_acquire)) return;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (static_cast<std::int64_t>(pid) != current_pid_) return;
   if (barrier_members_.count(job) == 0) return;  // late attacher: no barrier
   if (barrier_participants_ <= 1) {
@@ -304,9 +310,9 @@ void SharingController::end_chunk(JobId job, PartitionId pid, std::uint32_t chun
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [this, pid, chunk_id] {
-    return static_cast<std::int64_t>(pid) != current_pid_ || barrier_chunk_ > chunk_id;
-  });
+  while (static_cast<std::int64_t>(pid) == current_pid_ && barrier_chunk_ <= chunk_id) {
+    lock.wait(barrier_cv_);
+  }
 }
 
 const SharingController::OverlayPtr* SharingController::resolve_overlay_locked(
@@ -406,14 +412,14 @@ SharingController::OverlayPtr SharingController::make_overlay_locked(
 
 void SharingController::apply_mutation(JobId job, PartitionId pid, std::uint32_t chunk_id,
                                        std::vector<graph::Edge> new_edges) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   mutations_[{job, pid, chunk_id}] =
       make_overlay_locked(pid, chunk_id, std::move(new_edges), 0);
 }
 
 std::uint64_t SharingController::apply_update(PartitionId pid, std::uint32_t chunk_id,
                                               std::vector<graph::Edge> new_edges) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t version = ++version_counter_;
   updates_[{pid, chunk_id}].push_back(
       make_overlay_locked(pid, chunk_id, std::move(new_edges), version));
@@ -422,7 +428,7 @@ std::uint64_t SharingController::apply_update(PartitionId pid, std::uint32_t chu
 
 std::vector<graph::Edge> SharingController::chunk_content(JobId job, PartitionId pid,
                                                           std::uint32_t chunk_id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const OverlayPtr* overlay = resolve_overlay_locked(job, pid, chunk_id)) {
     return (*overlay)->edges;
   }
@@ -449,12 +455,12 @@ void SharingController::gc_updates_locked() {
 }
 
 SharingController::Stats SharingController::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t SharingController::live_jobs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return jobs_.size();  // finished jobs are erased on job_finished
 }
 
@@ -473,7 +479,7 @@ void SharingController::publish_metrics(obs::Registry& registry) const {
 }
 
 std::size_t SharingController::snapshot_chunks_live() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t live = mutations_.size();
   for (const auto& [key, versions] : updates_) live += versions.size();
   return live;

@@ -23,12 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "graphm/chunk_table.hpp"
+#include "util/annotations.hpp"
 #include "graphm/scheduler.hpp"
 #include "grid/grid_store.hpp"
 #include "grid/partition_view.hpp"
@@ -125,58 +125,61 @@ class SharingController {
   };
   using OverlayPtr = std::shared_ptr<OverlayChunk>;
 
-  void advance_locked();
-  [[nodiscard]] bool should_defer_locked() const;
-  [[nodiscard]] grid::PartitionView build_view_locked(JobId job, PartitionId pid);
+  void advance_locked() REQUIRES(mutex_);
+  [[nodiscard]] bool should_defer_locked() const REQUIRES(mutex_);
+  [[nodiscard]] grid::PartitionView build_view_locked(JobId job, PartitionId pid)
+      REQUIRES(mutex_);
   [[nodiscard]] const OverlayPtr* resolve_overlay_locked(JobId job, PartitionId pid,
-                                                         std::uint32_t chunk_id) const;
-  void gc_updates_locked();
+                                                         std::uint32_t chunk_id) const
+      REQUIRES(mutex_);
+  void gc_updates_locked() REQUIRES(mutex_);
   OverlayPtr make_overlay_locked(PartitionId pid, std::uint32_t chunk_id,
-                                 std::vector<graph::Edge> edges, std::uint64_t version);
+                                 std::vector<graph::Edge> edges, std::uint64_t version)
+      REQUIRES(mutex_);
   std::vector<graph::Edge> base_chunk_content_locked(PartitionId pid, std::uint32_t chunk_id,
-                                                     JobId job);
+                                                     JobId job) REQUIRES(mutex_);
 
   const storage::PartitionedStore& store_;
   sim::Platform& platform_;
   const std::vector<ChunkTable>* chunk_tables_;
   GraphMOptions options_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable round_cv_;   // round advance, buffer loads, registrations
   std::condition_variable barrier_cv_;  // chunk barrier (participants only)
 
-  std::map<JobId, JobState> jobs_;
-  std::uint64_t version_counter_ = 0;
+  std::map<JobId, JobState> jobs_ GUARDED_BY(mutex_);
+  std::uint64_t version_counter_ GUARDED_BY(mutex_) = 0;
 
-  void detach_from_round_locked(JobId job);
+  void detach_from_round_locked(JobId job) REQUIRES(mutex_);
 
   /// The sharing trace seam: every protocol transition goes through here.
   /// Sinks: stderr printf when GRAPHM_TRACE_SHARING is set (the original
   /// lockstep-debugging stream, preserved verbatim) and an obs instant on
   /// this controller's "sharing #N" track when the global tracer is on.
   void trace_event(const char* name, JobId job, std::uint64_t detail,
-                   const char* fmt, ...);
+                   const char* fmt, ...) REQUIRES(mutex_);
 
   const std::uint32_t group_id_;  // distinguishes controllers' trace tracks
-  std::uint32_t trace_track_ = 0xFFFFFFFFu;  // lazily interned (under mutex_)
+  std::uint32_t trace_track_ GUARDED_BY(mutex_) = 0xFFFFFFFFu;  // lazily interned
 
   // Serving state (Algorithm 2).
-  std::int64_t current_pid_ = -1;
-  std::set<JobId> current_unacquired_;
-  std::set<JobId> current_unreleased_;
+  std::int64_t current_pid_ GUARDED_BY(mutex_) = -1;
+  std::set<JobId> current_unacquired_ GUARDED_BY(mutex_);
+  std::set<JobId> current_unreleased_ GUARDED_BY(mutex_);
   /// Round participants subject to the chunk barrier. Late mid-round
   /// attachers appear in current_unreleased_ (they pin the buffer) but never
   /// here — they stream at their own pace.
-  std::set<JobId> barrier_members_;
-  std::vector<graph::Edge> shared_buffer_;
-  bool buffer_loaded_ = false;
-  bool buffer_loading_ = false;
-  sim::TrackedAllocation buffer_tracking_;
+  std::set<JobId> barrier_members_ GUARDED_BY(mutex_);
+  std::vector<graph::Edge> shared_buffer_ GUARDED_BY(mutex_);
+  bool buffer_loaded_ GUARDED_BY(mutex_) = false;
+  bool buffer_loading_ GUARDED_BY(mutex_) = false;
+  sim::TrackedAllocation buffer_tracking_ GUARDED_BY(mutex_);
 
   // Chunk barrier.
-  std::size_t barrier_participants_ = 0;
-  std::size_t barrier_arrived_ = 0;
-  std::uint32_t barrier_chunk_ = 0;
+  std::size_t barrier_participants_ GUARDED_BY(mutex_) = 0;
+  std::size_t barrier_arrived_ GUARDED_BY(mutex_) = 0;
+  std::uint32_t barrier_chunk_ GUARDED_BY(mutex_) = 0;
   /// True while the current round has at most one participant; read without
   /// the mutex by begin/end_chunk (it only changes between rounds, and a
   /// round cannot advance while one of its participants is streaming).
@@ -184,10 +187,12 @@ class SharingController {
 
   // Snapshots: mutations keyed by (job, pid, chunk); updates keyed by
   // (pid, chunk) as a version-ascending list.
-  std::map<std::tuple<JobId, PartitionId, std::uint32_t>, OverlayPtr> mutations_;
-  std::map<std::pair<PartitionId, std::uint32_t>, std::vector<OverlayPtr>> updates_;
+  std::map<std::tuple<JobId, PartitionId, std::uint32_t>, OverlayPtr> mutations_
+      GUARDED_BY(mutex_);
+  std::map<std::pair<PartitionId, std::uint32_t>, std::vector<OverlayPtr>> updates_
+      GUARDED_BY(mutex_);
 
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace graphm::core

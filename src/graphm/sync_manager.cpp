@@ -7,7 +7,7 @@ namespace graphm::core {
 
 void SyncManager::record_chunk(std::uint32_t job_id, std::uint64_t active_edges,
                                std::uint64_t total_edges, std::uint64_t elapsed_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   JobProfile& profile = profiles_[job_id];
   profile.pending.active_edges += active_edges;
   profile.pending.total_edges += total_edges;
@@ -23,7 +23,7 @@ void SyncManager::record_chunk(std::uint32_t job_id, std::uint64_t active_edges,
 }
 
 void SyncManager::finish_partition(std::uint32_t job_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   JobProfile& profile = profiles_[job_id];
   if (profile.pending.total_edges != 0) {
     profile.closed.push_back(profile.pending);
@@ -53,7 +53,7 @@ void SyncManager::finish_partition(std::uint32_t job_id) {
 }
 
 bool SyncManager::profiled(std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = profiles_.find(job_id);
   return it != profiles_.end() && it->second.closed.size() >= 2;
 }
@@ -77,31 +77,31 @@ double SyncManager::t_f_locked(std::uint32_t job_id) const {
 }
 
 double SyncManager::t_f(std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return t_f_locked(job_id);
 }
 
 double SyncManager::t_e() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return t_e_ns_;
 }
 
 double SyncManager::chunk_load_ns(std::uint32_t job_id, const ChunkInfo& chunk,
                                   const util::AtomicBitmap& active) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return t_f_locked(job_id) * static_cast<double>(chunk.active_edges(active));
 }
 
 double SyncManager::first_toucher_ns(std::uint32_t job_id, const ChunkInfo& chunk,
                                      const util::AtomicBitmap& active) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return t_f_locked(job_id) * static_cast<double>(chunk.active_edges(active)) +
          t_e_ns_ * static_cast<double>(chunk.total_edges());
 }
 
 std::vector<SyncManager::PartitionObservation> SyncManager::observations(
     std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = profiles_.find(job_id);
   return it == profiles_.end() ? std::vector<PartitionObservation>{} : it->second.closed;
 }

@@ -21,10 +21,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "graphm/chunk_table.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::core {
 
@@ -70,12 +70,12 @@ class SyncManager {
     std::vector<PartitionObservation> closed;
   };
 
-  [[nodiscard]] double t_f_locked(std::uint32_t job_id) const;
+  [[nodiscard]] double t_f_locked(std::uint32_t job_id) const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::uint32_t, JobProfile> profiles_;
-  double t_e_ns_ = 0.0;
-  std::uint64_t t_e_samples_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::uint32_t, JobProfile> profiles_ GUARDED_BY(mutex_);
+  double t_e_ns_ GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t t_e_samples_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace graphm::core

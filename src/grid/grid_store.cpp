@@ -11,6 +11,7 @@
 #include "graph/datasets.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::grid {
 
@@ -29,9 +30,9 @@ std::uint32_t next_file_id() {
 // stable per path within a process so -S/-C/-M schemes contend for the same
 // simulated pages.
 std::uint32_t file_id_for_path(const std::string& path) {
-  static std::mutex mutex;
+  static graphm::Mutex mutex;
   static std::unordered_map<std::string, std::uint32_t> ids;
-  std::lock_guard<std::mutex> lock(mutex);
+  graphm::MutexLock lock(mutex);
   auto [it, inserted] = ids.try_emplace(path, 0);
   if (inserted) it->second = next_file_id();
   return it->second;
@@ -172,8 +173,8 @@ std::uint64_t GridStore::read_edges(std::uint32_t i, EdgeCount first_edge, EdgeC
 
   // Real read (the data must actually flow — algorithms consume it).
   {
-    static std::mutex io_mutex;
-    std::lock_guard<std::mutex> lock(io_mutex);
+    static graphm::Mutex io_mutex;
+    graphm::MutexLock lock(io_mutex);
     if (std::fseek(data_file_.get(), static_cast<long>(offset), SEEK_SET) != 0 ||
         std::fread(out, 1, bytes, data_file_.get()) != bytes) {
       throw std::runtime_error("GridStore: read failed on " + path_);
@@ -202,8 +203,8 @@ GridStore open_dataset_grid(const std::string& dataset, std::uint32_t num_partit
   const std::string grid_path =
       (fs::path(graph::dataset_cache_dir()) / (dataset + std::string(suffix))).string();
 
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  static graphm::Mutex mutex;
+  graphm::MutexLock lock(mutex);
   if (!fs::exists(grid_path + ".meta") || !fs::exists(grid_path + ".data")) {
     GRAPHM_INFO("preprocessing grid for " << dataset << " P=" << num_partitions);
     GridStore::preprocess(graph::EdgeList::load(edge_path), num_partitions, grid_path);

@@ -32,7 +32,7 @@ const StreamEngine::RunIndex& StreamEngine::partition_runs(std::uint32_t pid,
     index.runs.shrink_to_fit();
     index.sorted = graph::source_runs_sorted(index.runs);
     if (!index.sorted) index.segments = graph::sorted_run_segments(index.runs);
-    std::lock_guard<std::mutex> lock(run_cache_mutex_);
+    MutexLock lock(run_cache_mutex_);
     run_cache_bytes_ += index.runs.size() * sizeof(graph::SourceRun) +
                         index.segments.size() * sizeof(std::uint32_t);
     run_cache_tracking_ = sim::TrackedAllocation(

@@ -35,6 +35,7 @@
 #include "grid/loader.hpp"
 #include "sim/platform.hpp"
 #include "util/thread_pool.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::grid {
 
@@ -144,13 +145,15 @@ class StreamEngine {
   std::vector<std::uint32_t> out_degrees_;
   std::unique_ptr<util::ThreadPool> pool_;  // present iff num_stream_threads > 1
 
-  mutable std::mutex run_cache_mutex_;  // guards only the tracked byte counter
+  mutable Mutex run_cache_mutex_;  // guards only the tracked byte counter
+  /// Built under a per-partition once_flag, then immutable — lock-free reads
+  /// after publication, so deliberately NOT GUARDED_BY(run_cache_mutex_).
   mutable std::vector<RunIndex> run_cache_;  // sized to P, stable
   /// One flag per partition so distinct partitions build concurrently; the
   /// deque keeps the (immovable) flags at stable addresses.
   mutable std::deque<std::once_flag> run_cache_once_;
-  mutable std::uint64_t run_cache_bytes_ = 0;
-  mutable sim::TrackedAllocation run_cache_tracking_;
+  mutable std::uint64_t run_cache_bytes_ GUARDED_BY(run_cache_mutex_) = 0;
+  mutable sim::TrackedAllocation run_cache_tracking_ GUARDED_BY(run_cache_mutex_);
 };
 
 }  // namespace graphm::grid

@@ -37,12 +37,12 @@ void SloTracker::record_violation(std::uint64_t now_ns) {
 }
 
 void SloTracker::set_capacity(double fraction) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = std::clamp(fraction, 1e-3, 1.0);
 }
 
 double SloTracker::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return capacity_;
 }
 
@@ -72,7 +72,7 @@ SloEval SloTracker::evaluate(std::uint64_t now_ns) {
   Histogram slow;
   window_.merged(now_ns, window_.sub_windows(), slow);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SloEval eval;
   eval.good = good_count(slow);
   eval.bad = slow.count() - eval.good;
@@ -115,12 +115,12 @@ SloEval SloTracker::evaluate(std::uint64_t now_ns) {
 }
 
 SloEval SloTracker::last_eval() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_eval_;
 }
 
 void SloTracker::merge_last_window(Histogram& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out.merge(last_window_);
 }
 
@@ -128,7 +128,6 @@ SloMonitor::SloMonitor(std::vector<SloSpec> objectives)
     : objectives_(std::move(objectives)) {}
 
 SloMonitor::Scoped& SloMonitor::scoped(std::string_view scope) {
-  // Caller holds mutex_.
   auto it = scopes_.find(scope);
   if (it == scopes_.end()) {
     Scoped s;
@@ -146,25 +145,25 @@ SloMonitor::Scoped& SloMonitor::scoped(std::string_view scope) {
 void SloMonitor::observe(std::string_view scope, std::uint64_t now_ns,
                          std::uint64_t latency_ns) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& tracker : scoped(scope).trackers) tracker->record(now_ns, latency_ns);
 }
 
 void SloMonitor::violation(std::string_view scope, std::uint64_t now_ns) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& tracker : scoped(scope).trackers) tracker->record_violation(now_ns);
 }
 
 void SloMonitor::count_shed(std::string_view scope) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& tracker : scoped(scope).trackers) tracker->count_shed();
 }
 
 void SloMonitor::set_capacity(double fraction) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = std::clamp(fraction, 1e-3, 1.0);
   for (auto& [name, s] : scopes_) {
     for (auto& tracker : s.trackers) tracker->set_capacity(capacity_);
@@ -173,7 +172,7 @@ void SloMonitor::set_capacity(double fraction) {
 
 SloState SloMonitor::evaluate(std::uint64_t now_ns) {
   if (!enabled()) return SloState::kHealthy;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SloState worst = SloState::kHealthy;
   SloEval worst_eval;
   for (auto& [name, s] : scopes_) {
@@ -192,17 +191,17 @@ SloState SloMonitor::evaluate(std::uint64_t now_ns) {
 }
 
 SloState SloMonitor::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 SloEval SloMonitor::worst_eval() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return worst_eval_;
 }
 
 std::uint64_t SloMonitor::total_sheds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [name, s] : scopes_) {
     for (const auto& tracker : s.trackers) total += tracker->sheds();
@@ -211,7 +210,7 @@ std::uint64_t SloMonitor::total_sheds() const {
 }
 
 void SloMonitor::publish(Registry& registry) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, s] : scopes_) {
     for (const auto& tracker : s.trackers) {
       std::string prefix = "graphm.slo." + tracker->spec().name;

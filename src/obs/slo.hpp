@@ -34,10 +34,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 #include "obs/metrics.hpp"
 #include "obs/window.hpp"
@@ -112,17 +113,19 @@ class SloTracker {
   /// Samples at or under the threshold in `h` (the straddling bucket counts
   /// as good — within one bucket width of exact, same contract as quantile).
   [[nodiscard]] std::uint64_t good_count(const Histogram& h) const;
-  [[nodiscard]] double burn(std::uint64_t good, std::uint64_t bad) const;
+  [[nodiscard]] double burn(std::uint64_t good, std::uint64_t bad) const
+      REQUIRES(mutex_);
 
   const SloSpec spec_;
   WindowedHistogram window_;
   std::atomic<std::uint64_t> sheds_{0};
 
-  mutable std::mutex mutex_;  // state machine + cached eval + capacity
-  double capacity_ = 1.0;
-  SloState state_ = SloState::kHealthy;
-  SloEval last_eval_;
-  Histogram last_window_;  // slow window at the last evaluate()
+  mutable Mutex mutex_;  // state machine + cached eval + capacity
+  double capacity_ GUARDED_BY(mutex_) = 1.0;
+  SloState state_ GUARDED_BY(mutex_) = SloState::kHealthy;
+  SloEval last_eval_ GUARDED_BY(mutex_);
+  /// Slow window at the last evaluate().
+  Histogram last_window_ GUARDED_BY(mutex_);
 };
 
 /// A set of objectives tracked per scope (tenant/dataset), with one combined
@@ -166,14 +169,14 @@ class SloMonitor {
     std::vector<std::unique_ptr<SloTracker>> trackers;  // one per objective
   };
 
-  Scoped& scoped(std::string_view scope);
+  Scoped& scoped(std::string_view scope) REQUIRES(mutex_);
 
   std::vector<SloSpec> objectives_;
-  mutable std::mutex mutex_;  // scopes_ growth + cached worst
-  std::map<std::string, Scoped, std::less<>> scopes_;
-  double capacity_ = 1.0;
-  SloState state_ = SloState::kHealthy;
-  SloEval worst_eval_;
+  mutable Mutex mutex_;  // scopes_ growth + cached worst
+  std::map<std::string, Scoped, std::less<>> scopes_ GUARDED_BY(mutex_);
+  double capacity_ GUARDED_BY(mutex_) = 1.0;
+  SloState state_ GUARDED_BY(mutex_) = SloState::kHealthy;
+  SloEval worst_eval_ GUARDED_BY(mutex_);
 };
 
 }  // namespace graphm::obs

@@ -44,7 +44,7 @@ Tracer& Tracer::global() {
 std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
 
 std::uint32_t Tracer::track(std::string_view name) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
   }
@@ -56,7 +56,7 @@ Tracer::Ring& Tracer::this_thread_ring() {
   if (t_ring_cache.tracer_id == tracer_id_) {
     return *static_cast<Ring*>(t_ring_cache.ring);
   }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   Ring& ring = rings_.emplace_back(ring_capacity_);
   t_ring_cache = {tracer_id_, &ring, 0xFFFFFFFFu};
   return ring;
@@ -70,7 +70,7 @@ std::uint32_t Tracer::thread_track() {
   if (t_ring_cache.thread_track != 0xFFFFFFFFu) return t_ring_cache.thread_track;
   std::uint32_t id;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     std::size_t index = 0;
     for (const Ring& r : rings_) {
       if (&r == t_ring_cache.ring) break;
@@ -85,12 +85,12 @@ std::uint32_t Tracer::thread_track() {
 
 void Tracer::name_thread_track(std::string_view name) {
   const std::uint32_t id = thread_track();
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   tracks_[id].assign(name);
 }
 
 std::vector<std::string> Tracer::track_names() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   return tracks_;
 }
 
@@ -99,7 +99,7 @@ void Tracer::record(char phase, std::uint32_t track, std::string_view name,
                     std::uint64_t detail) {
   if (!enabled()) return;
   Ring& ring = this_thread_ring();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   TraceEvent& event = ring.events[ring.next];
   if (ring.size == ring.events.size()) {
     ++ring.dropped;  // overwriting the oldest retained event
@@ -140,9 +140,9 @@ void Tracer::async_end(std::uint32_t track, std::string_view name, std::uint64_t
 
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> events;
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   for (const Ring& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    MutexLock ring_lock(ring.mutex);
     // Oldest retained event first: the ring wrapped iff size == capacity,
     // in which case `next` points at the oldest entry.
     const std::size_t capacity = ring.events.size();
@@ -160,22 +160,22 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   std::uint64_t total = 0;
   for (const Ring& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    MutexLock ring_lock(ring.mutex);
     total += ring.dropped;
   }
   return total;
 }
 
 std::size_t Tracer::ring_count() const {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   return rings_.size();
 }
 
 std::uint64_t Tracer::approx_memory_bytes() const {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   std::uint64_t total = 0;
   for (const Ring& ring : rings_) {
     total += static_cast<std::uint64_t>(ring.events.size()) * sizeof(TraceEvent);
@@ -184,9 +184,9 @@ std::uint64_t Tracer::approx_memory_bytes() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  MutexLock registry_lock(registry_mutex_);
   for (Ring& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring.mutex);
+    MutexLock ring_lock(ring.mutex);
     ring.next = 0;
     ring.size = 0;
     ring.dropped = 0;

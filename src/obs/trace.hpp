@@ -21,10 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace graphm::obs {
 
@@ -100,11 +101,14 @@ class Tracer {
  private:
   struct Ring {
     explicit Ring(std::size_t capacity) : events(capacity) {}
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
+    /// Fixed-size at construction; only the *elements* are written under
+    /// `mutex` — the vector itself never reallocates, so size() is safe to
+    /// read under registry_mutex_ alone (approx_memory_bytes does).
     std::vector<TraceEvent> events;
-    std::size_t next = 0;
-    std::size_t size = 0;
-    std::uint64_t dropped = 0;
+    std::size_t next GUARDED_BY(mutex) = 0;
+    std::size_t size GUARDED_BY(mutex) = 0;
+    std::uint64_t dropped GUARDED_BY(mutex) = 0;
   };
 
   Ring& this_thread_ring();
@@ -117,9 +121,12 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::uint64_t epoch_ns_;  // steady-clock origin
 
-  mutable std::mutex registry_mutex_;  // rings_ + tracks_
-  std::deque<Ring> rings_;             // deque: stable addresses for TLS caching
-  std::vector<std::string> tracks_;
+  mutable Mutex registry_mutex_;
+  /// deque: stable addresses for TLS caching. Growth serializes on
+  /// registry_mutex_; threads reach their own ring through the cached
+  /// pointer, never by indexing rings_.
+  std::deque<Ring> rings_ GUARDED_BY(registry_mutex_);
+  std::vector<std::string> tracks_ GUARDED_BY(registry_mutex_);
 };
 
 /// RAII complete-span: captures the start on construction, records on

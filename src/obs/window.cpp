@@ -33,7 +33,7 @@ void WindowedHistogram::record(std::uint64_t now_ns, std::uint64_t v) {
     slots_[slot % slots_.size()].record(v);
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
   if (slot > current) {
     advance_locked(slot);
@@ -48,7 +48,7 @@ void WindowedHistogram::record(std::uint64_t now_ns, std::uint64_t v) {
 
 void WindowedHistogram::merged(std::uint64_t now_ns, std::size_t sub_count,
                                Histogram& out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   advance_locked(now_ns / sub_span_ns_);
   const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
   const std::size_t k = std::clamp<std::size_t>(sub_count, 1, slots_.size());
@@ -58,7 +58,7 @@ void WindowedHistogram::merged(std::uint64_t now_ns, std::size_t sub_count,
 }
 
 std::uint64_t WindowedHistogram::count(std::uint64_t now_ns, std::size_t sub_count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   advance_locked(now_ns / sub_span_ns_);
   const std::uint64_t current = current_slot_.load(std::memory_order_relaxed);
   const std::size_t k = std::clamp<std::size_t>(sub_count, 1, slots_.size());

@@ -23,10 +23,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::obs {
 
@@ -65,16 +65,18 @@ class WindowedHistogram {
 
  private:
   /// Rotates so that `slot` is current, resetting every slot that expired.
-  /// Caller holds mutex_.
-  void advance_locked(std::uint64_t slot);
+  void advance_locked(std::uint64_t slot) REQUIRES(mutex_);
 
   const std::uint64_t sub_span_ns_;
+  /// Deliberately NOT GUARDED_BY(mutex_): record()'s fast path touches the
+  /// current slot with no lock (Histogram::record is atomic per bucket); the
+  /// mutex only serializes rotation and cross-slot merges.
   std::vector<Histogram> slots_;  // slot s of absolute index i: i % size
   /// Absolute index of the newest (current) slot. Relaxed fast-path check;
   /// transitions happen under mutex_.
   std::atomic<std::uint64_t> current_slot_{0};
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex mutex_;  // rotation + merges
+  mutable Mutex mutex_;  // rotation + merges
 };
 
 }  // namespace graphm::obs

@@ -31,7 +31,7 @@ const char* outcome_name(Outcome outcome) {
 AdmissionQueue::AdmissionQueue(Config config) : config_(config) {}
 
 bool AdmissionQueue::push(JobRecordPtr job, std::uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) return false;
   if (ready_.size() + held_.size() >= config_.max_depth) return false;
   if (config_.policy == AdmissionPolicy::kBatchUntilK && config_.batch_k > 1) {
@@ -70,7 +70,7 @@ JobRecordPtr AdmissionQueue::take_locked() {
 }
 
 JobRecordPtr AdmissionQueue::pop(const std::function<std::uint64_t()>& now_ns) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     if (!ready_.empty()) return take_locked();
     if (!held_.empty()) {
@@ -84,34 +84,34 @@ JobRecordPtr AdmissionQueue::pop(const std::function<std::uint64_t()>& now_ns) {
         held_.clear();
         continue;
       }
-      cv_.wait_for(lock, std::chrono::nanoseconds(release_at - now));
+      lock.wait_for(cv_, std::chrono::nanoseconds(release_at - now));
       continue;
     }
     if (closed_) return nullptr;
-    cv_.wait(lock);
+    lock.wait(cv_);
   }
 }
 
 void AdmissionQueue::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (JobRecordPtr& held : held_) ready_.push_back(std::move(held));
   held_.clear();
   cv_.notify_all();
 }
 
 void AdmissionQueue::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   closed_ = true;
   cv_.notify_all();
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ready_.size() + held_.size();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

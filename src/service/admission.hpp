@@ -39,6 +39,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 #include "algos/factory.hpp"
 #include "grid/stream_engine.hpp"
 #include "runtime/metrics.hpp"
@@ -127,7 +129,7 @@ struct JobRecord {
   bool missed_deadline = false;
 
   std::atomic<JobState> state{JobState::kQueued};
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;  // signalled on terminal state
 
   [[nodiscard]] bool terminal() const {
@@ -169,18 +171,17 @@ class AdmissionQueue {
   [[nodiscard]] bool closed() const;
 
  private:
-  /// Removes and returns the next job per policy. Caller holds the mutex and
-  /// guarantees ready_ is non-empty.
-  JobRecordPtr take_locked();
+  /// Removes and returns the next job per policy; ready_ must be non-empty.
+  JobRecordPtr take_locked() REQUIRES(mutex_);
 
   Config config_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
   /// Jobs eligible for dispatch. Under kBatchUntilK jobs sit in held_ first.
-  std::deque<JobRecordPtr> ready_;
-  std::deque<JobRecordPtr> held_;  // kBatchUntilK only
-  std::uint64_t oldest_held_arrival_ns_ = 0;
-  bool closed_ = false;
+  std::deque<JobRecordPtr> ready_ GUARDED_BY(mutex_);
+  std::deque<JobRecordPtr> held_ GUARDED_BY(mutex_);  // kBatchUntilK only
+  std::uint64_t oldest_held_arrival_ns_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace graphm::service

@@ -7,7 +7,7 @@ namespace graphm::service {
 GroupManager::GroupManager(std::size_t num_datasets) : datasets_(num_datasets) {}
 
 void GroupManager::set_dataset_name(std::size_t dataset, std::string name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_.at(dataset).name = std::move(name);
 }
 
@@ -21,7 +21,7 @@ void GroupManager::fill_deltas(GroupRecord& record,
 
 void GroupManager::job_started(std::size_t dataset, std::uint64_t now_ns,
                                const core::SharingController::Stats& sharing) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DatasetState& state = datasets_.at(dataset);
   if (!state.open_group) {
     state.open = GroupRecord{};
@@ -38,7 +38,7 @@ void GroupManager::job_started(std::size_t dataset, std::uint64_t now_ns,
 
 void GroupManager::job_finished(std::size_t dataset, std::uint64_t now_ns,
                                 const core::SharingController::Stats& sharing) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DatasetState& state = datasets_.at(dataset);
   if (state.running > 0) --state.running;
   if (state.running == 0 && state.open_group) {
@@ -50,19 +50,19 @@ void GroupManager::job_finished(std::size_t dataset, std::uint64_t now_ns,
 }
 
 std::uint32_t GroupManager::running(std::size_t dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return datasets_.at(dataset).running;
 }
 
 std::uint32_t GroupManager::running_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint32_t total = 0;
   for (const DatasetState& state : datasets_) total += state.running;
   return total;
 }
 
 std::vector<GroupRecord> GroupManager::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<GroupRecord> records = closed_;
   for (const DatasetState& state : datasets_) {
     if (state.open_group) records.push_back(state.open);

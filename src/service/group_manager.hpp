@@ -11,12 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graphm/sharing_controller.hpp"
 #include "service/service_stats.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::service {
 
@@ -55,10 +55,10 @@ class GroupManager {
   static void fill_deltas(GroupRecord& record, const core::SharingController::Stats& at_open,
                           const core::SharingController::Stats& now);
 
-  mutable std::mutex mutex_;
-  std::vector<DatasetState> datasets_;
-  std::vector<GroupRecord> closed_;
-  std::uint64_t next_group_id_ = 1;
+  mutable Mutex mutex_;
+  std::vector<DatasetState> datasets_ GUARDED_BY(mutex_);
+  std::vector<GroupRecord> closed_ GUARDED_BY(mutex_);
+  std::uint64_t next_group_id_ GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace graphm::service

@@ -19,8 +19,8 @@ const JobRecord& JobHandle::await() const {
   static JobRecord rejected;
   rejected.state.store(JobState::kRejected, std::memory_order_release);
   if (record_ == nullptr) return rejected;
-  std::unique_lock<std::mutex> lock(record_->mutex);
-  record_->cv.wait(lock, [this] { return record_->terminal(); });
+  MutexLock lock(record_->mutex);
+  while (!record_->terminal()) lock.wait(record_->cv);
   return *record_;
 }
 
@@ -101,14 +101,14 @@ JobHandle JobService::submit(const algos::JobSpec& spec, std::uint64_t deadline_
   }
 
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     ++unfinished_;
   }
   if (slo_shed || dataset >= datasets_.size() ||
       shut_down_.load(std::memory_order_acquire) ||
       !queue_.push(record, record->outcome.arrival_ns)) {
     {
-      std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      MutexLock lock(lifecycle_mutex_);
       --unfinished_;
     }
     // A drain() may be sleeping on the count this submission briefly raised.
@@ -253,12 +253,12 @@ void JobService::finish(const JobRecordPtr& job, JobState terminal, bool started
   }
 
   {
-    std::lock_guard<std::mutex> lock(job->mutex);
+    MutexLock lock(job->mutex);
     job->state.store(terminal, std::memory_order_release);
   }
   job->cv.notify_all();
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     --unfinished_;
   }
   idle_cv_.notify_all();
@@ -279,8 +279,8 @@ void JobService::evaluate_slo(std::uint64_t now) {
 
 void JobService::drain() {
   queue_.flush();
-  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(lifecycle_mutex_);
+  while (unfinished_ != 0) lock.wait(idle_cv_);
 }
 
 void JobService::shutdown() {

@@ -38,6 +38,7 @@
 #include "service/group_manager.hpp"
 #include "service/service_stats.hpp"
 #include "sim/platform.hpp"
+#include "util/annotations.hpp"
 #include "util/timer.hpp"
 
 namespace graphm::service {
@@ -180,9 +181,10 @@ class JobService {
   std::atomic<bool> shut_down_{false};
   std::atomic<std::uint32_t> next_job_id_{0};
 
-  mutable std::mutex lifecycle_mutex_;
+  mutable Mutex lifecycle_mutex_;
   std::condition_variable idle_cv_;
-  std::size_t unfinished_ = 0;  // accepted, not yet terminal
+  /// Accepted, not yet terminal.
+  std::size_t unfinished_ GUARDED_BY(lifecycle_mutex_) = 0;
 };
 
 }  // namespace graphm::service

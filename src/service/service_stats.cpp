@@ -44,12 +44,12 @@ double sustained_jobs_per_s(std::size_t completed, std::uint64_t first_arrival_n
 }
 
 void StatsCollector::on_submit() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++submitted_;
 }
 
 void StatsCollector::on_reject() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++rejected_;
 }
 
@@ -70,7 +70,7 @@ void StatsCollector::push_timeline_locked(std::uint64_t t_ns, std::uint32_t runn
 }
 
 void StatsCollector::on_start(std::uint64_t t_ns, std::uint32_t running) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   push_timeline_locked(t_ns, running);
 }
 
@@ -78,7 +78,7 @@ void StatsCollector::on_finish(const runtime::JobOutcome& outcome,
                                std::uint64_t modeled_latency_ns, bool cancelled,
                                bool missed_deadline, std::uint64_t t_ns,
                                std::uint32_t running) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   push_timeline_locked(t_ns, running);
   if (cancelled) {
     ++cancelled_;
@@ -143,7 +143,7 @@ LatencySummary summarize_histogram(const obs::Histogram& hist) {
 
 ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
                                       std::size_t workers) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ServiceStats stats;
   stats.submitted = submitted_;
   stats.rejected = rejected_;
@@ -198,7 +198,7 @@ ServiceStats StatsCollector::snapshot(std::vector<GroupRecord> groups,
 }
 
 void StatsCollector::publish_metrics(obs::Registry& registry) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   registry.set_counter("graphm.service.submitted", submitted_);
   registry.set_counter("graphm.service.rejected", rejected_);
   registry.set_counter("graphm.service.completed", completed_count_);
@@ -213,7 +213,7 @@ void StatsCollector::publish_metrics(obs::Registry& registry) const {
 }
 
 std::size_t StatsCollector::approx_memory_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sample_outcomes_.capacity() * sizeof(runtime::JobOutcome) +
          sample_modeled_.capacity() * sizeof(std::uint64_t) +
          timeline_.capacity() * sizeof(ConcurrencyPoint) +

@@ -16,12 +16,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "runtime/metrics.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::service {
 
@@ -166,31 +166,32 @@ class StatsCollector {
   [[nodiscard]] std::size_t approx_memory_bytes() const;
 
  private:
-  void push_timeline_locked(std::uint64_t t_ns, std::uint32_t running);
+  void push_timeline_locked(std::uint64_t t_ns, std::uint32_t running)
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t cancelled_ = 0;
-  std::uint64_t deadline_misses_ = 0;
+  mutable Mutex mutex_;
+  std::uint64_t submitted_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t cancelled_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t deadline_misses_ GUARDED_BY(mutex_) = 0;
 
-  std::uint64_t completed_count_ = 0;
-  std::uint64_t first_arrival_ns_ = UINT64_MAX;
-  std::uint64_t last_completion_ns_ = 0;
+  std::uint64_t completed_count_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t first_arrival_ns_ GUARDED_BY(mutex_) = UINT64_MAX;
+  std::uint64_t last_completion_ns_ GUARDED_BY(mutex_) = 0;
   /// First-kSampleCap reservoir (results stripped, stats kept) + the modeled
   /// latency aligned with it.
-  std::vector<runtime::JobOutcome> sample_outcomes_;
-  std::vector<std::uint64_t> sample_modeled_;
-  obs::Histogram queue_wait_hist_;
-  obs::Histogram stream_hist_;
-  obs::Histogram e2e_hist_;
-  obs::Histogram e2e_modeled_hist_;
-  obs::Histogram exec_modeled_hist_;
+  std::vector<runtime::JobOutcome> sample_outcomes_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> sample_modeled_ GUARDED_BY(mutex_);
+  obs::Histogram queue_wait_hist_ GUARDED_BY(mutex_);
+  obs::Histogram stream_hist_ GUARDED_BY(mutex_);
+  obs::Histogram e2e_hist_ GUARDED_BY(mutex_);
+  obs::Histogram e2e_modeled_hist_ GUARDED_BY(mutex_);
+  obs::Histogram exec_modeled_hist_ GUARDED_BY(mutex_);
 
-  std::vector<ConcurrencyPoint> timeline_;
-  std::uint64_t timeline_stride_ = 1;
-  std::uint64_t timeline_seen_ = 0;
-  std::uint32_t peak_concurrency_ = 0;
+  std::vector<ConcurrencyPoint> timeline_ GUARDED_BY(mutex_);
+  std::uint64_t timeline_stride_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t timeline_seen_ GUARDED_BY(mutex_) = 0;
+  std::uint32_t peak_concurrency_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace graphm::service

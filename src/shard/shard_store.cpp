@@ -10,6 +10,7 @@
 #include "graph/datasets.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::shard {
 
@@ -21,10 +22,10 @@ namespace {
 constexpr std::uint32_t kMetaMagic = 0x53684431;  // "ShD1"
 
 std::uint32_t file_id_for_path(const std::string& path) {
-  static std::mutex mutex;
+  static graphm::Mutex mutex;
   static std::unordered_map<std::string, std::uint32_t> ids;
   static std::atomic<std::uint32_t> counter{10000};  // distinct from grid ids
-  std::lock_guard<std::mutex> lock(mutex);
+  graphm::MutexLock lock(mutex);
   auto [it, inserted] = ids.try_emplace(path, 0);
   if (inserted) it->second = counter.fetch_add(1);
   return it->second;
@@ -156,8 +157,8 @@ std::uint64_t ShardStore::read_edges(std::uint32_t i, graph::EdgeCount first_edg
   const std::uint64_t offset = meta_.partition_offset(i) + first_edge * sizeof(Edge);
   const std::uint64_t bytes = count * sizeof(Edge);
   {
-    static std::mutex io_mutex;
-    std::lock_guard<std::mutex> lock(io_mutex);
+    static graphm::Mutex io_mutex;
+    graphm::MutexLock lock(io_mutex);
     if (std::fseek(data_file_.get(), static_cast<long>(offset), SEEK_SET) != 0 ||
         std::fread(out, 1, bytes, data_file_.get()) != bytes) {
       throw std::runtime_error("ShardStore: read failed on " + path_);
@@ -184,8 +185,8 @@ ShardStore open_dataset_shards(const std::string& dataset, std::uint32_t num_sha
   const std::string shard_path =
       (fs::path(graph::dataset_cache_dir()) / (dataset + std::string(suffix))).string();
 
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
+  static graphm::Mutex mutex;
+  graphm::MutexLock lock(mutex);
   if (!fs::exists(shard_path + ".meta") || !fs::exists(shard_path + ".data")) {
     GRAPHM_INFO("preprocessing shards for " << dataset << " P=" << num_shards);
     ShardStore::preprocess(graph::EdgeList::load(edge_path), num_shards, shard_path);

@@ -21,14 +21,14 @@ CacheSim::CacheSim(std::size_t capacity_bytes, std::size_t ways, std::size_t lin
 }
 
 void CacheSim::access(std::uint64_t addr, std::uint32_t job_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   access_line_locked(addr / line_bytes_, job_id, 1);
 }
 
 void CacheSim::access_range(std::uint64_t base, std::size_t len, std::uint32_t job_id,
                             std::uint32_t weight) {
   if (len == 0 || weight == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t first = base / line_bytes_;
   const std::uint64_t last = (base + len - 1) / line_bytes_;
   for (std::uint64_t line = first; line <= last; ++line) {
@@ -82,24 +82,24 @@ CacheStats& CacheSim::stats_for_locked(std::uint32_t job_id) {
 }
 
 CacheStats CacheSim::total_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 CacheStats CacheSim::job_stats(std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (job_id >= per_job_.size()) return CacheStats{};
   return per_job_[job_id];
 }
 
 void CacheSim::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   total_ = CacheStats{};
   per_job_.clear();
 }
 
 void CacheSim::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   total_ = CacheStats{};
   per_job_.clear();
   std::fill(sets_.begin(), sets_.end(), Way{});

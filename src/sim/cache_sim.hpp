@@ -9,8 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace graphm::sim {
 
@@ -54,17 +55,18 @@ class CacheSim {
     bool valid = false;
   };
 
-  void access_line_locked(std::uint64_t line_addr, std::uint32_t job_id, std::uint32_t weight);
-  CacheStats& stats_for_locked(std::uint32_t job_id);
+  void access_line_locked(std::uint64_t line_addr, std::uint32_t job_id,
+                          std::uint32_t weight) REQUIRES(mutex_);
+  CacheStats& stats_for_locked(std::uint32_t job_id) REQUIRES(mutex_);
 
   std::size_t ways_;
   std::size_t line_bytes_;
   std::size_t num_sets_;
-  std::uint64_t tick_ = 0;
-  std::vector<Way> sets_;  // num_sets_ * ways_, row-major
-  CacheStats total_;
-  std::vector<CacheStats> per_job_;
-  mutable std::mutex mutex_;
+  std::uint64_t tick_ GUARDED_BY(mutex_) = 0;
+  std::vector<Way> sets_ GUARDED_BY(mutex_);  // num_sets_ * ways_, row-major
+  CacheStats total_ GUARDED_BY(mutex_);
+  std::vector<CacheStats> per_job_ GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
 };
 
 }  // namespace graphm::sim

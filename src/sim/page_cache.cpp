@@ -16,7 +16,7 @@ PageCacheSim::PageCacheSim(std::size_t capacity_bytes, std::size_t page_bytes,
 std::uint64_t PageCacheSim::read(std::uint32_t file_id, std::uint64_t offset, std::size_t len,
                                  std::uint32_t job_id) {
   if (len == 0) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (job_id >= per_job_.size()) per_job_.resize(job_id + 1);
   IoStats& js = per_job_[job_id];
 
@@ -68,7 +68,7 @@ std::uint64_t PageCacheSim::read(std::uint32_t file_id, std::uint64_t offset, st
 }
 
 void PageCacheSim::invalidate_file(std::uint32_t file_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if ((*it >> 40) == file_id) {
       map_.erase(*it);
@@ -80,29 +80,29 @@ void PageCacheSim::invalidate_file(std::uint32_t file_id) {
 }
 
 IoStats PageCacheSim::total_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 IoStats PageCacheSim::job_stats(std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (job_id >= per_job_.size()) return IoStats{};
   return per_job_[job_id];
 }
 
 std::size_t PageCacheSim::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return map_.size() * page_bytes_;
 }
 
 void PageCacheSim::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   total_ = IoStats{};
   per_job_.clear();
 }
 
 void PageCacheSim::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   total_ = IoStats{};
   per_job_.clear();
   lru_.clear();

@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace graphm::sim {
 
@@ -55,11 +56,11 @@ class PageCacheSim {
   double bandwidth_;
   double latency_;
 
-  std::list<PageKey> lru_;  // front = most recent
-  std::unordered_map<PageKey, std::list<PageKey>::iterator> map_;
-  IoStats total_;
-  std::vector<IoStats> per_job_;
-  mutable std::mutex mutex_;
+  std::list<PageKey> lru_ GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<PageKey, std::list<PageKey>::iterator> map_ GUARDED_BY(mutex_);
+  IoStats total_ GUARDED_BY(mutex_);
+  std::vector<IoStats> per_job_ GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
 };
 
 }  // namespace graphm::sim

@@ -9,19 +9,19 @@ Platform::Platform(const PlatformConfig& config)
                   config.disk_latency_s) {}
 
 void Platform::add_instructions(std::uint32_t job_id, std::uint64_t count) {
-  std::lock_guard<std::mutex> lock(instr_mutex_);
+  MutexLock lock(instr_mutex_);
   if (job_id >= instructions_.size()) instructions_.resize(job_id + 1, 0);
   instructions_[job_id] += count;
 }
 
 std::uint64_t Platform::instructions(std::uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(instr_mutex_);
+  MutexLock lock(instr_mutex_);
   if (job_id >= instructions_.size()) return 0;
   return instructions_[job_id];
 }
 
 std::uint64_t Platform::total_instructions() const {
-  std::lock_guard<std::mutex> lock(instr_mutex_);
+  MutexLock lock(instr_mutex_);
   std::uint64_t total = 0;
   for (std::uint64_t v : instructions_) total += v;
   return total;
@@ -45,7 +45,7 @@ void Platform::reset_stats() {
   llc_.reset_stats();
   page_cache_.reset_stats();
   memory_.reset();
-  std::lock_guard<std::mutex> lock(instr_mutex_);
+  MutexLock lock(instr_mutex_);
   instructions_.clear();
 }
 

@@ -14,6 +14,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/memory_tracker.hpp"
 #include "sim/page_cache.hpp"
+#include "util/annotations.hpp"
 
 namespace graphm::sim {
 
@@ -58,8 +59,8 @@ class Platform {
   CacheSim llc_;
   PageCacheSim page_cache_;
   MemoryTracker memory_;
-  mutable std::mutex instr_mutex_;
-  std::vector<std::uint64_t> instructions_;
+  mutable Mutex instr_mutex_;
+  std::vector<std::uint64_t> instructions_ GUARDED_BY(instr_mutex_);
 };
 
 }  // namespace graphm::sim

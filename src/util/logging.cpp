@@ -2,12 +2,13 @@
 
 #include <cstdio>
 #include <mutex>
+#include "util/annotations.hpp"
 
 namespace graphm::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+graphm::Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +27,7 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std:
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
 
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  graphm::MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[graphm %-5s] %s\n", level_name(level), message.c_str());
 }
 

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -32,8 +32,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) lock.wait(cv_idle_);
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -47,20 +47,23 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // valid even if they only start after the caller has drained every index.
   struct Group {
     std::atomic<std::size_t> next{0};
-    std::size_t helpers_left = 0;
-    std::mutex mutex;
+    Mutex mutex;
+    std::size_t helpers_left GUARDED_BY(mutex) = 0;
     std::condition_variable done;
   };
   auto group = std::make_shared<Group>();
   const std::size_t helpers = std::min(workers_.size(), n - 1);
-  group->helpers_left = helpers;
+  {
+    MutexLock lock(group->mutex);
+    group->helpers_left = helpers;
+  }
 
   for (std::size_t h = 0; h < helpers; ++h) {
     submit([group, n, &fn] {
       for (std::size_t i = group->next.fetch_add(1); i < n; i = group->next.fetch_add(1)) {
         fn(i);
       }
-      std::lock_guard<std::mutex> lock(group->mutex);
+      MutexLock lock(group->mutex);
       if (--group->helpers_left == 0) group->done.notify_all();
     });
   }
@@ -68,23 +71,23 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // call makes progress and cannot deadlock.
   for (std::size_t i = group->next.fetch_add(1); i < n; i = group->next.fetch_add(1)) fn(i);
 
-  std::unique_lock<std::mutex> lock(group->mutex);
-  group->done.wait(lock, [&group] { return group->helpers_left == 0; });
+  MutexLock lock(group->mutex);
+  while (group->helpers_left != 0) lock.wait(group->done);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) lock.wait(cv_task_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

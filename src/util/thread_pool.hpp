@@ -8,9 +8,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace graphm::util {
 
@@ -41,12 +42,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace graphm::util
